@@ -1,0 +1,90 @@
+"""Shared infrastructure for the benchmark harness.
+
+Every table/figure benchmark runs through here so that:
+
+- training runs are **cached per session** — Table 2 and Figure 5 share
+  the same six (full, NeSSA) training histories instead of training twice;
+- every bench uses the same laptop-scale recipe (the paper's Section 4.1
+  recipe compressed to 24 epochs, LR rescaled for the small-batch
+  synthetic stand-ins);
+- every bench writes its regenerated table to ``benchmarks/out/`` next to
+  the paper's published numbers, which EXPERIMENTS.md records.
+"""
+
+from __future__ import annotations
+
+import functools
+from pathlib import Path
+
+from repro.core.config import NeSSAConfig, TrainRecipe
+from repro.pipeline.experiment import ExperimentResult, make_data, run_method
+
+OUT_DIR = Path(__file__).parent / "out"
+
+# The paper trains 200 epochs at LR 0.1 with batch 128 on 50k+ images;
+# compressed to 24 epochs on ~1-3k synthetic images, the equivalent stable
+# LR is lower.  Milestones stay at the paper's 30%/60%/80% positions.
+BENCH_EPOCHS = 32
+BENCH_LR = 0.03
+BENCH_BATCH = 64
+
+
+def bench_recipe(epochs: int = BENCH_EPOCHS) -> TrainRecipe:
+    base = TrainRecipe().scaled(epochs)
+    return TrainRecipe(
+        epochs=base.epochs,
+        batch_size=BENCH_BATCH,
+        lr=BENCH_LR,
+        lr_milestones=base.lr_milestones,
+        lr_gamma_div=base.lr_gamma_div,
+        momentum=base.momentum,
+        weight_decay=base.weight_decay,
+        nesterov=base.nesterov,
+        clip_grad_norm=5.0,
+    )
+
+
+def bench_nessa_config(fraction: float, seed: int = 1) -> NeSSAConfig:
+    """NeSSA knobs for 32-epoch runs: the paper's 20-of-200-epoch drop
+    period scales to 10 epochs (a conservative ~3 drops per run)."""
+    return NeSSAConfig(subset_fraction=fraction, biasing_drop_period=10, seed=seed)
+
+
+@functools.lru_cache(maxsize=None)
+def cached_data(dataset: str, scale: float = 0.6, seed: int = 3):
+    return make_data(dataset, scale=scale, seed=seed)
+
+
+@functools.lru_cache(maxsize=None)
+def cached_run(
+    dataset: str,
+    method: str,
+    fraction: float | None = None,
+    epochs: int = BENCH_EPOCHS,
+    seed: int = 1,
+) -> ExperimentResult:
+    """One accuracy run, cached for the whole pytest session."""
+    train, test = cached_data(dataset)
+    nessa_config = None
+    if method.startswith("nessa") and fraction is not None:
+        nessa_config = bench_nessa_config(fraction, seed=seed)
+    return run_method(
+        dataset,
+        method,
+        train,
+        test,
+        bench_recipe(epochs),
+        subset_fraction=fraction,
+        nessa_config=nessa_config,
+        seed=seed,
+    )
+
+
+def write_table(name: str, lines: list) -> Path:
+    """Write a regenerated table/figure to benchmarks/out/ and echo it."""
+    OUT_DIR.mkdir(exist_ok=True)
+    path = OUT_DIR / f"{name}.txt"
+    text = "\n".join(lines) + "\n"
+    path.write_text(text)
+    print(f"\n{text}")
+    return path

@@ -1,0 +1,80 @@
+"""Ablation: lazy greedy vs stochastic ("lazier than lazy") greedy.
+
+The paper cites [40] (stochastic greedy) as the O(N) method making FPGA
+selection tractable.  This bench measures the actual cost/quality
+trade-off on our facility-location core: stochastic greedy must be
+substantially cheaper at large n while giving ~(1 - 1/e - eps) quality.
+"""
+
+import numpy as np
+import pytest
+
+from repro.selection.facility import (
+    facility_location_value,
+    lazy_greedy,
+    similarity_from_distances,
+    stochastic_greedy,
+)
+
+from benchmarks._shared import write_table
+
+
+def make_similarity(n, d=10, seed=0):
+    rng = np.random.default_rng(seed)
+    v = rng.normal(size=(n, d))
+    dist = np.linalg.norm(v[:, None] - v[None, :], axis=2)
+    return similarity_from_distances(dist)
+
+
+N, K = 600, 120
+
+
+def test_ablation_lazy_greedy_cost(benchmark):
+    s = make_similarity(N)
+    sel = benchmark(lazy_greedy, s, K)
+    assert len(sel) == K
+
+
+def test_ablation_stochastic_greedy_cost(benchmark):
+    s = make_similarity(N)
+    rng = np.random.default_rng(1)
+    sel = benchmark(stochastic_greedy, s, K, 0.1, rng)
+    assert len(sel) == K
+
+
+def test_ablation_greedy_quality_gap(benchmark):
+    """Stochastic greedy retains >= 95% of exact greedy's objective."""
+
+    def quality():
+        s = make_similarity(N, seed=2)
+        exact = facility_location_value(s, lazy_greedy(s, K))
+        stoch = facility_location_value(
+            s, stochastic_greedy(s, K, epsilon=0.1, rng=np.random.default_rng(3))
+        )
+        return exact, stoch
+
+    exact, stoch = benchmark(quality)
+    lines = [
+        "Ablation: greedy maximizer quality (facility-location objective)",
+        f"lazy greedy       {exact:12.2f}",
+        f"stochastic greedy {stoch:12.2f}  ({100 * stoch / exact:.2f}% of exact)",
+    ]
+    write_table("ablation_greedy", lines)
+    assert stoch >= 0.95 * exact
+
+
+def test_ablation_stochastic_evaluations_scale_o_n(benchmark):
+    """The stochastic sample size per step is n/k*ln(1/eps) — total O(n)."""
+
+    def count_evals():
+        # Total candidate evaluations across k steps.
+        out = {}
+        for n in (200, 400, 800):
+            k = n // 5
+            sample = int(np.ceil(n / k * np.log(1 / 0.1)))
+            out[n] = k * min(sample, n)
+        return out
+
+    evals = benchmark(count_evals)
+    # Doubling n roughly doubles total evaluations (linear, not quadratic).
+    assert evals[800] / evals[200] == pytest.approx(4.0, rel=0.3)

@@ -1,0 +1,60 @@
+"""Extension bench: multi-SmartSSD / multi-GPU scaling (paper Section 5).
+
+The paper's stated future work.  The model shards selection across
+devices and trains data-parallel with a ring all-reduce; the bench
+regenerates the scaling curve and checks it behaves like a real system:
+near-linear at small counts, efficiency eroding as the all-reduce and
+the unsharded feedback broadcast grow.
+"""
+
+import pytest
+
+from repro.pipeline.multidevice import MultiDeviceSystem
+
+from benchmarks._shared import write_table
+
+
+def test_ext_scaling_curve(benchmark):
+    def curve():
+        return {
+            name: MultiDeviceSystem(name).scaling_curve(max_devices=8)
+            for name in ("cifar10", "imagenet100")
+        }
+
+    curves = benchmark(curve)
+
+    lines = ["Multi-SmartSSD scaling (epoch seconds / speedup / efficiency)"]
+    for name, points in curves.items():
+        lines.append(name)
+        for p in points:
+            lines.append(
+                f"  x{p.num_devices}: {p.epoch_time:8.2f}s "
+                f"{p.speedup_vs_single:5.2f}x  {100 * p.efficiency:5.1f}%"
+            )
+    write_table("ext_scaling", lines)
+
+    for name, points in curves.items():
+        times = [p.epoch_time for p in points]
+        # More devices never slower.
+        assert all(b <= a + 1e-9 for a, b in zip(times, times[1:])), name
+        # Useful scaling at 4 devices...
+        four = points[3]
+        assert four.speedup_vs_single > 2.5, name
+        # ...but below ideal (the overheads are modelled, not wished away).
+        assert four.efficiency < 1.0, name
+        # Efficiency decays monotonically (weakly) with device count.
+        effs = [p.efficiency for p in points]
+        assert effs[-1] <= effs[1] + 0.02, name
+
+
+def test_ext_scaling_large_dataset_benefits_most(benchmark):
+    """ImageNet-100 (movement-heavy) scales better than CIFAR-10 (tiny)."""
+
+    def efficiency_at_8():
+        return {
+            name: MultiDeviceSystem(name).scaling_curve(max_devices=8)[-1].efficiency
+            for name in ("cifar10", "imagenet100")
+        }
+
+    eff = benchmark(efficiency_at_8)
+    assert eff["imagenet100"] > eff["cifar10"] - 0.05

@@ -1,0 +1,116 @@
+"""Figure 5: accuracy over the training process, NeSSA vs full dataset.
+
+The paper's claim: *"NeSSA converges close to the optimal solution faster
+than a model trained on the entire dataset"* and *"reaches closer to
+convergence within the first 30 epochs"*.
+
+At paper scale an epoch is ~400 optimization steps for every method, so
+epochs measure *data exposure*; at our ~30x-compressed scale the full-data
+run gets 3x the optimization steps per epoch and converges within a
+handful of epochs, which makes raw epoch-indexed curves incomparable.
+The faithful reproduction of the *claim* is therefore time-normalized:
+each method's accuracy curve is laid out against the modelled wall-clock
+of its epochs (full-data epochs cost 2-6x a NeSSA epoch on the
+calibrated system model), and we compare time-to-95%-of-final-accuracy.
+The raw epoch series are still dumped for inspection.
+
+Reuses the cached Table 2 training runs.
+"""
+
+import numpy as np
+import pytest
+
+from repro.data.registry import DATASETS
+from repro.pipeline.system import SystemModel
+
+from benchmarks._shared import cached_run, write_table
+
+DATASET_NAMES = list(DATASETS)
+
+
+def time_to_fraction(history, epoch_cost: float, fraction: float = 0.95) -> float:
+    """Modelled seconds until the run reaches ``fraction`` of its final accuracy."""
+    curve = history.accuracy_curve()
+    target = fraction * history.stable_accuracy()
+    for epoch, acc in enumerate(curve):
+        if acc >= target:
+            return (epoch + 1) * epoch_cost
+    return len(curve) * epoch_cost
+
+
+@pytest.fixture(scope="module")
+def convergence():
+    out = {}
+    for name in DATASET_NAMES:
+        info = DATASETS[name]
+        system = SystemModel(name)
+        full_hist = cached_run(name, "full", seed=1).history
+        nessa_hist = cached_run(name, "nessa", fraction=info.subset_fraction, seed=1).history
+        full_cost = system.full_epoch().total
+        nessa_cost = system.nessa_epoch(pool_fraction=0.7).total
+        out[name] = {
+            "full": (full_hist, full_cost),
+            "nessa": (nessa_hist, nessa_cost),
+        }
+    return out
+
+
+def test_fig5_time_normalized_convergence(convergence, benchmark):
+    data = benchmark.pedantic(lambda: convergence, rounds=1, iterations=1)
+
+    lines = ["Figure 5: modelled time to 95% of final accuracy (seconds)"]
+    lines.append(f"{'dataset':13s} {'full':>10s} {'nessa':>10s} {'ratio':>7s}")
+    ratios = []
+    wins = 0
+    for name in DATASET_NAMES:
+        full_hist, full_cost = data[name]["full"]
+        nessa_hist, nessa_cost = data[name]["nessa"]
+        t_full = time_to_fraction(full_hist, full_cost)
+        t_nessa = time_to_fraction(nessa_hist, nessa_cost)
+        ratio = t_nessa / t_full
+        ratios.append(ratio)
+        wins += ratio <= 1.0
+        lines.append(f"{name:13s} {t_full:10.1f} {t_nessa:10.1f} {ratio:7.2f}")
+    geo = float(np.exp(np.mean(np.log(ratios))))
+    lines.append(f"{'geo-mean':13s} {'':>10s} {'':>10s} {geo:7.2f}")
+    write_table("fig5_convergence", lines)
+
+    # NeSSA converges faster in modelled time on at least half the
+    # datasets, and on (geometric) average.
+    assert wins >= 3, f"NeSSA won time-to-95% on only {wins}/6 datasets"
+    assert geo <= 1.1
+
+
+def test_fig5_raw_series_dump(convergence, benchmark):
+    """Emit the per-epoch series (the figure's raw data) for both methods."""
+
+    def dump():
+        lines = ["Figure 5 raw series (per-epoch test accuracy)"]
+        for name in DATASET_NAMES:
+            full_hist, _ = convergence[name]["full"]
+            nessa_hist, _ = convergence[name]["nessa"]
+            lines.append(
+                f"{name} full  " + " ".join(f"{a:.3f}" for a in full_hist.accuracy_curve())
+            )
+            lines.append(
+                f"{name} nessa " + " ".join(f"{a:.3f}" for a in nessa_hist.accuracy_curve())
+            )
+        return lines
+
+    lines = benchmark.pedantic(dump, rounds=1, iterations=1)
+    write_table("fig5_series", lines)
+    assert len(lines) == 1 + 2 * len(DATASET_NAMES)
+
+
+def test_fig5_curves_rise(convergence, benchmark):
+    """Both curves end far above where they start (series sanity)."""
+
+    def check():
+        for name in DATASET_NAMES:
+            for method in ("full", "nessa"):
+                hist, _ = convergence[name][method]
+                curve = hist.accuracy_curve()
+                assert curve[-3:].mean() > curve[0] + 0.1, (name, method)
+        return True
+
+    assert benchmark.pedantic(check, rounds=1, iterations=1)

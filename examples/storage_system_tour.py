@@ -1,0 +1,77 @@
+#!/usr/bin/env python
+"""Tour of the simulated SmartSSD+GPU system (the paper's Figure 3 setup).
+
+No training here — this example exercises the hardware models directly:
+
+1. synthesize the selection kernel and print its Table 4 utilization;
+2. profile the P2P link's saturation curve (Figure 6);
+3. price one epoch of each training strategy for every paper dataset
+   (Figure 4 / Section 4.3) and print the data-movement ledgers behind
+   the 3.47x reduction claim.
+
+Usage:
+    python examples/storage_system_tour.py
+"""
+
+from repro.data.registry import DATASETS
+from repro.pipeline.system import SystemModel, average_speedups, data_movement_summary
+from repro.smartssd import SelectionKernel, SmartSSD
+
+
+def kernel_report():
+    print("=== Selection kernel on the KU15P (paper Table 4) ===")
+    kernel = SelectionKernel()
+    usage = kernel.resource_usage()
+    for res, pct in kernel.utilization_percent().items():
+        print(f"  {res:5s} {usage[res]:>9,d} used  ->  {pct:5.2f}%")
+    print(f"  int8 throughput: {kernel.macs_per_second / 1e9:.0f} GMAC/s")
+    print(f"  largest on-chip similarity tile: {kernel.max_chunk_for_onchip()}^2 samples\n")
+
+
+def link_report():
+    print("=== P2P link saturation (paper Figure 6) ===")
+    ssd = SmartSSD()
+    print(f"  {'batch':>10s} {'throughput':>12s}")
+    for name, info in DATASETS.items():
+        batch = 128 * info.bytes_per_image
+        eff = ssd.effective_p2p_throughput(batch)
+        print(f"  {batch / 1e6:8.2f}MB {eff / 1e9:10.2f}GB/s   ({name})")
+    host = ssd.host_path.sustained_bytes_per_s
+    print(f"  conventional host path: {host / 1e9:.1f} GB/s "
+          f"({ssd.p2p.peak_bytes_per_s / host:.2f}x slower than P2P peak)\n")
+
+
+def epoch_report():
+    print("=== Per-epoch strategy costs (paper Figure 4 / Section 4.3) ===")
+    for name in DATASETS:
+        model = SystemModel(name)
+        table = model.epoch_table()
+        cells = "  ".join(f"{k}={t.total:8.2f}s" for k, t in table.items())
+        print(f"  {name:13s} {cells}")
+
+    print("\n=== Headline claims ===")
+    speedups = average_speedups()
+    movement = data_movement_summary()
+    print(f"  NeSSA vs full:      {speedups['full']:.2f}x  (paper: 5.37x)")
+    print(f"  NeSSA vs CRAIG:     {speedups['craig']:.2f}x  (paper: 4.3x)")
+    print(f"  NeSSA vs K-Centers: {speedups['kcenters']:.2f}x  (paper: 8.1x)")
+    print(f"  data movement cut:  {movement['average']:.2f}x  (paper: 3.47x)")
+
+    # The per-dataset movement ledgers behind the average.
+    print("\n  per-dataset host-interconnect bytes (full vs NeSSA, one epoch):")
+    for name in DATASETS:
+        model = SystemModel(name)
+        full = model.full_epoch().movement.over_host_interconnect
+        nessa = model.nessa_epoch(pool_fraction=0.7).movement.over_host_interconnect
+        print(f"    {name:13s} {full / 1e6:9.1f} MB -> {nessa / 1e6:8.1f} MB "
+              f"({full / nessa:.2f}x)")
+
+
+def main():
+    kernel_report()
+    link_report()
+    epoch_report()
+
+
+if __name__ == "__main__":
+    main()

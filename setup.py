@@ -1,0 +1,5 @@
+"""Setup shim: this environment has no `wheel` package, so PEP 660 editable
+installs (`pip install -e .`) cannot build; `python setup.py develop` works."""
+from setuptools import setup
+
+setup()

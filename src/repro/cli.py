@@ -1,0 +1,173 @@
+"""Command-line interface: ``python -m repro.cli <command>``.
+
+Commands
+--------
+``info``     print the paper-scale dataset registry (Tables 1 and 2).
+``train``    run one accuracy experiment (any method, any dataset).
+``system``   price the per-epoch strategies for a dataset (Figure 4 view).
+``kernel``   synthesize the selection kernel and print Table 4.
+``scaling``  the multi-SmartSSD scaling curve (the paper's future work).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.data.registry import DATASETS
+
+__all__ = ["main"]
+
+
+def _cmd_info(args) -> int:
+    print(f"{'dataset':13s} {'classes':>7s} {'train':>8s} {'B/image':>8s} "
+          f"{'model':>9s} {'full%':>6s} {'nessa%':>7s} {'subset%':>8s}")
+    for name, info in DATASETS.items():
+        print(
+            f"{name:13s} {info.num_classes:>7d} {info.train_size:>8,d} "
+            f"{info.bytes_per_image:>8,d} {info.model:>9s} "
+            f"{info.paper_full_acc:>6.2f} {info.paper_nessa_acc:>7.2f} "
+            f"{info.paper_subset_pct:>8d}"
+        )
+    return 0
+
+
+def _cmd_train(args) -> int:
+    from repro.core.config import NeSSAConfig, TrainRecipe
+    from repro.pipeline.experiment import make_data, run_method
+
+    train_set, test_set = make_data(args.dataset, scale=args.scale, seed=args.data_seed)
+    base = TrainRecipe().scaled(args.epochs)
+    recipe = TrainRecipe(
+        epochs=args.epochs,
+        batch_size=args.batch_size,
+        lr=args.lr,
+        lr_milestones=base.lr_milestones,
+        lr_gamma_div=base.lr_gamma_div,
+        clip_grad_norm=5.0,
+    )
+    nessa_config = None
+    if args.method.startswith("nessa"):
+        nessa_config = NeSSAConfig(
+            subset_fraction=args.fraction or DATASETS[args.dataset].subset_fraction,
+            biasing_drop_period=max(3, args.epochs // 3),
+            seed=args.seed,
+        )
+    result = run_method(
+        args.dataset,
+        args.method,
+        train_set,
+        test_set,
+        recipe,
+        subset_fraction=args.fraction,
+        nessa_config=nessa_config,
+        seed=args.seed,
+    )
+    history = result.history
+    print(f"{args.method} on {args.dataset}: "
+          f"final={100 * history.final_accuracy:.2f}% "
+          f"stable={100 * history.stable_accuracy():.2f}% "
+          f"best={100 * history.best_accuracy:.2f}%")
+    print(f"samples trained: {history.total_samples_trained:,} "
+          f"(mean subset {100 * history.mean_subset_fraction:.1f}%)")
+    if args.save_history:
+        from repro.nn.serialize import save_history
+
+        path = save_history(history, args.save_history)
+        print(f"history written to {path}")
+    return 0
+
+
+def _cmd_system(args) -> int:
+    from repro.pipeline.system import SystemModel, average_speedups, data_movement_summary
+
+    model = SystemModel(args.dataset)
+    print(f"per-epoch strategy costs for {args.dataset} (modelled seconds):")
+    for name, timing in model.epoch_table().items():
+        print(f"  {name:9s} ingest={timing.ingest_time:8.2f} "
+              f"select={timing.selection_time:8.2f} "
+              f"compute={timing.compute_time:8.2f} total={timing.total:8.2f}")
+    print("\nper-epoch energy (joules):")
+    for name, joules in model.energy_table().items():
+        print(f"  {name:9s} {joules:10.1f} J")
+    speedups = average_speedups()
+    movement = data_movement_summary()
+    print(f"\ncross-dataset averages: "
+          f"{speedups['full']:.2f}x vs full (paper 5.37x), "
+          f"{movement['average']:.2f}x less movement (paper 3.47x)")
+    return 0
+
+
+def _cmd_kernel(args) -> int:
+    from repro.smartssd.kernel import SelectionKernel
+
+    kernel = SelectionKernel()
+    usage = kernel.resource_usage()
+    print("selection kernel on the KU15P (paper Table 4):")
+    for res, pct in kernel.utilization_percent().items():
+        print(f"  {res:5s} {usage[res]:>9,d}  {pct:6.2f}%")
+    print(f"  int8 throughput {kernel.macs_per_second / 1e9:.0f} GMAC/s, "
+          f"max on-chip tile {kernel.max_chunk_for_onchip()}^2")
+    return 0
+
+
+def _cmd_scaling(args) -> int:
+    from repro.pipeline.multidevice import MultiDeviceSystem
+
+    system = MultiDeviceSystem(args.dataset)
+    print(f"NeSSA scaling for {args.dataset} (devices, epoch s, speedup, efficiency):")
+    for point in system.scaling_curve(max_devices=args.max_devices):
+        print(f"  {point.num_devices:>2d}  {point.epoch_time:8.2f}s "
+              f"{point.speedup_vs_single:6.2f}x  {100 * point.efficiency:5.1f}%")
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(prog="repro", description=__doc__)
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("info", help="print the dataset registry")
+
+    train = sub.add_parser("train", help="run one accuracy experiment")
+    train.add_argument("--dataset", choices=sorted(DATASETS), default="cifar10")
+    train.add_argument(
+        "--method",
+        default="nessa",
+        choices=["full", "nessa", "nessa-vanilla", "nessa-sb", "nessa-pa",
+                 "craig", "kcenters", "random"],
+    )
+    train.add_argument("--fraction", type=float, default=None)
+    train.add_argument("--epochs", type=int, default=24)
+    train.add_argument("--batch-size", type=int, default=64)
+    train.add_argument("--lr", type=float, default=0.03)
+    train.add_argument("--scale", type=float, default=0.6)
+    train.add_argument("--seed", type=int, default=1)
+    train.add_argument("--data-seed", type=int, default=3)
+    train.add_argument("--save-history", default=None, metavar="PATH")
+
+    system = sub.add_parser("system", help="price the per-epoch strategies")
+    system.add_argument("--dataset", choices=sorted(DATASETS), default="cifar10")
+
+    sub.add_parser("kernel", help="synthesize the selection kernel (Table 4)")
+
+    scaling = sub.add_parser("scaling", help="multi-SmartSSD scaling curve")
+    scaling.add_argument("--dataset", choices=sorted(DATASETS), default="imagenet100")
+    scaling.add_argument("--max-devices", type=int, default=8)
+
+    return parser
+
+
+def main(argv=None) -> int:
+    args = build_parser().parse_args(argv)
+    handlers = {
+        "info": _cmd_info,
+        "train": _cmd_train,
+        "system": _cmd_system,
+        "kernel": _cmd_kernel,
+        "scaling": _cmd_scaling,
+    }
+    return handlers[args.command](args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,55 @@
+"""Quantized-weight feedback loop between GPU and FPGA (paper §3.2.1).
+
+After each training round the target model's weights are quantized and
+transferred back to the SmartSSD, so the FPGA-side selection model scores
+samples with (a fixed-point approximation of) the *current* model instead
+of a stale one.  :class:`FeedbackLoop` owns the FPGA-side model replica
+and the transfer bookkeeping the data-movement accounting reads.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from repro.nn.modules import Module
+from repro.nn.quantize import QuantizedModel
+
+__all__ = ["FeedbackLoop"]
+
+
+class FeedbackLoop:
+    """Owns the FPGA-side quantized replica of the target model.
+
+    Parameters
+    ----------
+    model_factory : builds a fresh instance of the target architecture
+        (the replica the quantized weights are loaded into).
+    bits : quantization width (paper kernel: int8).
+    enabled : when False, :meth:`sync` is a no-op and the replica keeps
+        its initial weights forever — the no-feedback ablation arm.
+    """
+
+    def __init__(self, model_factory: Callable[[], Module], bits: int = 8, enabled: bool = True):
+        self.bits = bits
+        self.enabled = enabled
+        self.replica = QuantizedModel(model_factory(), bits=bits)
+        self.syncs = 0
+        self.bytes_transferred = 0
+
+    def sync(self, source: Module) -> int:
+        """Quantize ``source``'s weights into the replica.
+
+        Returns the payload size in bytes (0 when disabled), which the
+        system model charges to the host→device link.
+        """
+        if not self.enabled:
+            return 0
+        payload = self.replica.sync_from(source)
+        self.syncs += 1
+        self.bytes_transferred += payload
+        return payload
+
+    @property
+    def selection_model(self) -> QuantizedModel:
+        """The model the selector must run its forward passes through."""
+        return self.replica

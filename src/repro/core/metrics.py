@@ -1,0 +1,134 @@
+"""Training telemetry: per-epoch records and aggregate histories.
+
+Trainers emit one :class:`EpochRecord` per epoch; :class:`TrainingHistory`
+aggregates them and answers the questions the paper's evaluation asks
+(final accuracy, accuracy-at-epoch curves for Figure 5, total samples
+trained on, data-movement counters for the system model).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.data.dataset import Dataset
+from repro.nn.modules import Module
+
+__all__ = ["EpochRecord", "TrainingHistory", "evaluate_accuracy"]
+
+
+@dataclass
+class EpochRecord:
+    """Everything one training epoch produced."""
+
+    epoch: int
+    train_loss: float
+    test_accuracy: float
+    subset_size: int
+    subset_fraction: float
+    samples_trained: int
+    selection_ran: bool = False
+    selection_proxy_flops: float = 0.0
+    selection_pairwise_bytes: int = 0
+    feedback_bytes: int = 0
+    dropped_samples: int = 0
+    lr: float = 0.0
+
+
+@dataclass
+class TrainingHistory:
+    """Aggregate over a full training run."""
+
+    records: list = field(default_factory=list)
+    method: str = ""
+
+    def append(self, record: EpochRecord) -> None:
+        self.records.append(record)
+
+    @property
+    def epochs(self) -> int:
+        return len(self.records)
+
+    @property
+    def final_accuracy(self) -> float:
+        if not self.records:
+            raise ValueError("empty history")
+        return self.records[-1].test_accuracy
+
+    @property
+    def best_accuracy(self) -> float:
+        if not self.records:
+            raise ValueError("empty history")
+        return max(r.test_accuracy for r in self.records)
+
+    def stable_accuracy(self, window: int = 3) -> float:
+        """Mean test accuracy over the final ``window`` epochs.
+
+        A lower-variance estimate of converged accuracy than the single
+        final epoch — the laptop-scale runs are small enough that one
+        epoch of jitter is a full accuracy point.
+        """
+        if not self.records:
+            raise ValueError("empty history")
+        tail = self.records[-window:]
+        return float(np.mean([r.test_accuracy for r in tail]))
+
+    def accuracy_curve(self) -> np.ndarray:
+        """Test accuracy per epoch — the Figure 5 series."""
+        return np.asarray([r.test_accuracy for r in self.records])
+
+    def loss_curve(self) -> np.ndarray:
+        return np.asarray([r.train_loss for r in self.records])
+
+    def accuracy_at(self, epoch: int) -> float:
+        """Accuracy after ``epoch`` epochs (clamped to the run length)."""
+        if not self.records:
+            raise ValueError("empty history")
+        return self.records[min(epoch, len(self.records) - 1)].test_accuracy
+
+    @property
+    def total_samples_trained(self) -> int:
+        """Gradient computations proxy: sum of per-epoch subset sizes."""
+        return sum(r.samples_trained for r in self.records)
+
+    @property
+    def mean_subset_fraction(self) -> float:
+        if not self.records:
+            raise ValueError("empty history")
+        return float(np.mean([r.subset_fraction for r in self.records]))
+
+    def epochs_to_accuracy(self, target: float) -> int | None:
+        """First epoch reaching ``target`` accuracy, or None."""
+        for r in self.records:
+            if r.test_accuracy >= target:
+                return r.epoch
+        return None
+
+    def to_dict(self) -> dict:
+        """JSON-friendly dump (benchmark harness output)."""
+        return {
+            "method": self.method,
+            "final_accuracy": self.final_accuracy,
+            "best_accuracy": self.best_accuracy,
+            "mean_subset_fraction": self.mean_subset_fraction,
+            "total_samples_trained": self.total_samples_trained,
+            "accuracy_curve": self.accuracy_curve().tolist(),
+        }
+
+
+def evaluate_accuracy(model: Module, dataset: Dataset, batch_size: int = 512) -> float:
+    """Top-1 accuracy of ``model`` on ``dataset`` (eval mode, batched)."""
+    was_training = model.training
+    model.eval()
+    correct = 0
+    try:
+        for start in range(0, len(dataset), batch_size):
+            x = dataset.x[start : start + batch_size]
+            y = dataset.y[start : start + batch_size]
+            pred = model(x).argmax(axis=1)
+            correct += int((pred == y).sum())
+    finally:
+        if was_training:
+            model.train()
+    return correct / max(1, len(dataset))

@@ -1,0 +1,151 @@
+"""The NeSSA selector: CRAIG facility location + the §3.2 optimizations.
+
+One :meth:`NeSSASelector.select` call is what the paper's FPGA kernel does
+at the start of an epoch (system step 2 in Figure 3):
+
+1. score every candidate with the quantized feedback model (forward pass
+   → last-layer gradient proxies, §3.1 / §3.2.1);
+2. restrict candidates to samples not yet "learned" (subset biasing,
+   §3.2.2 — the :class:`~repro.selection.biasing.LossHistory` is fed by
+   the trainer);
+3. per class, select medoids by facility-location maximization — over
+   random chunks when partitioning is on (§3.2.3), whole-class otherwise;
+4. return medoid positions + CRAIG weights, plus the accounting the
+   storage model consumes (proxy FLOPs, largest similarity buffer).
+"""
+
+from __future__ import annotations
+
+from functools import partial
+
+import numpy as np
+
+from repro.core.config import NeSSAConfig
+from repro.data.dataset import Dataset, Subset
+from repro.selection.biasing import LossHistory
+from repro.selection.craig import SelectionResult, craig_select_class
+from repro.selection.gradients import compute_gradient_proxies
+from repro.selection.partition import partitioned_select
+
+__all__ = ["NeSSASelector"]
+
+
+class NeSSASelector:
+    """Near-storage subset selector (the FPGA-side algorithm).
+
+    Parameters
+    ----------
+    config : the NeSSA knobs; :class:`~repro.core.config.NeSSAConfig`.
+    chunk_select : per-chunk selection count *m* for partitioning; the
+        trainer passes the mini-batch size per the paper's convention.
+    """
+
+    name = "nessa"
+
+    def __init__(self, config: NeSSAConfig, chunk_select: int | None = None):
+        self.config = config
+        self.chunk_select = chunk_select or config.partition_chunk_select
+        self.rng = np.random.default_rng(config.seed)
+        self.loss_history = LossHistory(
+            window=config.biasing_window,
+            drop_period=config.biasing_drop_period,
+            drop_quantile=config.biasing_drop_quantile,
+            min_history=min(3, config.biasing_window),
+        )
+        self.last_pairwise_bytes = 0
+
+    def record_epoch_losses(self, ids: np.ndarray, losses: np.ndarray) -> None:
+        """Trainer feedback: per-sample losses of the samples just trained."""
+        if self.config.use_biasing:
+            self.loss_history.record(ids, losses)
+
+    def maybe_drop_learned(self, dataset: Dataset, epoch: int) -> int:
+        """Apply the §3.2.2 drop policy if the epoch calls for it.
+
+        Returns the number of samples dropped this call.
+        """
+        if not self.config.use_biasing or not self.loss_history.should_drop_now(epoch):
+            return 0
+        candidates = self.loss_history.filter_candidates(dataset.ids)
+        marked = self.loss_history.mark_learned(candidates)
+        # Never drop below what one subset needs: keep the pool at least
+        # twice the current subset so selection still has choices.
+        pool_after = len(candidates) - len(marked)
+        min_pool = max(
+            2 * int(self.config.subset_fraction * len(dataset)),
+            dataset.num_classes,
+        )
+        if pool_after < min_pool:
+            keep = max(0, len(candidates) - min_pool)
+            marked = marked[:keep]
+        self.loss_history.drop(marked)
+        return len(marked)
+
+    def select(
+        self,
+        dataset: Dataset,
+        fraction: float,
+        model,
+    ) -> SelectionResult:
+        """One selection round over ``dataset`` at the given fraction.
+
+        ``model`` must be the quantized feedback replica when feedback is
+        on (the trainer guarantees this); passing the live model emulates
+        a hypothetical unquantized FPGA.
+        """
+        if not 0.0 < fraction <= 1.0:
+            raise ValueError("fraction must be in (0, 1]")
+
+        if self.config.use_biasing:
+            candidate_ids = self.loss_history.filter_candidates(dataset.ids)
+            id_set = set(int(i) for i in candidate_ids)
+            candidates = np.flatnonzero([int(i) in id_set for i in dataset.ids])
+        else:
+            candidates = np.arange(len(dataset), dtype=np.int64)
+
+        proxy = compute_gradient_proxies(
+            model,
+            dataset.x[candidates],
+            dataset.y[candidates],
+            ids=dataset.ids[candidates],
+        )
+
+        k_total = max(1, int(round(fraction * len(dataset))))
+        k_total = min(k_total, len(candidates))
+        labels = dataset.y[candidates]
+
+        positions, weights = [], []
+        max_pairwise = 0
+        select_fn = partial(
+            craig_select_class,
+            method=self.config.selection_method,
+            epsilon=self.config.stochastic_epsilon,
+            rng=self.rng,
+        )
+        for label in np.unique(labels):
+            local = np.flatnonzero(labels == label)
+            k_c = max(1, int(round(k_total * len(local) / len(candidates))))
+            k_c = min(k_c, len(local))
+            if self.config.use_partitioning:
+                m = self.chunk_select or 128
+                sel, w, nbytes = partitioned_select(
+                    proxy.vectors[local], k_c, select_fn, self.rng, chunk_select=m
+                )
+            else:
+                sel, w, nbytes = select_fn(proxy.vectors[local], k_c)
+            positions.append(candidates[local[sel]])
+            weights.append(w)
+            max_pairwise = max(max_pairwise, nbytes)
+
+        self.last_pairwise_bytes = max_pairwise
+        return SelectionResult(
+            positions=np.concatenate(positions),
+            weights=np.concatenate(weights),
+            pairwise_bytes=max_pairwise,
+            proxy_flops=proxy.flops,
+        )
+
+    def subset(self, dataset: Dataset, fraction: float, model) -> Subset:
+        """Run :meth:`select` and wrap the result as a weighted Subset."""
+        result = self.select(dataset, fraction, model)
+        return Subset(dataset, result.positions, weights=result.weights)

@@ -1,0 +1,86 @@
+"""Training-time data augmentation.
+
+The paper's recipe is the standard CIFAR training setup, which pads,
+randomly crops and horizontally flips each batch.  Augmentations operate
+on ``(N, C, H, W)`` batches and are driven by a seeded generator so runs
+stay reproducible.  They matter to the *selection* story too: the
+selection model scores the canonical (un-augmented) image, while the GPU
+trains on augmented views — exactly the asymmetry the real system has.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["RandomCrop", "RandomHorizontalFlip", "GaussianNoise", "Compose"]
+
+
+class RandomCrop:
+    """Pad by ``padding`` pixels (reflect) and crop back to the original size."""
+
+    def __init__(self, padding: int = 1):
+        if padding < 0:
+            raise ValueError("padding cannot be negative")
+        self.padding = padding
+
+    def __call__(self, x: np.ndarray, rng: np.random.Generator) -> np.ndarray:
+        if self.padding == 0:
+            return x
+        n, c, h, w = x.shape
+        p = self.padding
+        padded = np.pad(x, ((0, 0), (0, 0), (p, p), (p, p)), mode="reflect")
+        out = np.empty_like(x)
+        offsets_y = rng.integers(0, 2 * p + 1, size=n)
+        offsets_x = rng.integers(0, 2 * p + 1, size=n)
+        for i in range(n):
+            oy, ox = offsets_y[i], offsets_x[i]
+            out[i] = padded[i, :, oy : oy + h, ox : ox + w]
+        return out
+
+
+class RandomHorizontalFlip:
+    """Flip each image left-right with probability ``p``."""
+
+    def __init__(self, p: float = 0.5):
+        if not 0.0 <= p <= 1.0:
+            raise ValueError("p must be in [0, 1]")
+        self.p = p
+
+    def __call__(self, x: np.ndarray, rng: np.random.Generator) -> np.ndarray:
+        flip = rng.uniform(size=x.shape[0]) < self.p
+        out = x.copy()
+        out[flip] = out[flip, :, :, ::-1]
+        return out
+
+
+class GaussianNoise:
+    """Add zero-mean Gaussian noise (a mild regularizer for synthetic data)."""
+
+    def __init__(self, std: float = 0.05):
+        if std < 0:
+            raise ValueError("std cannot be negative")
+        self.std = std
+
+    def __call__(self, x: np.ndarray, rng: np.random.Generator) -> np.ndarray:
+        if self.std == 0:
+            return x
+        return x + rng.normal(0.0, self.std, size=x.shape).astype(x.dtype)
+
+
+class Compose:
+    """Apply augmentations in order with a per-epoch reseeded generator."""
+
+    def __init__(self, transforms: list, seed: int = 0):
+        self.transforms = list(transforms)
+        self.seed = seed
+        self._calls = 0
+
+    def __call__(self, x: np.ndarray) -> np.ndarray:
+        rng = np.random.default_rng(self.seed + self._calls)
+        self._calls += 1
+        for transform in self.transforms:
+            x = transform(x, rng)
+        return x
+
+    def __len__(self) -> int:
+        return len(self.transforms)

@@ -1,0 +1,116 @@
+"""In-memory dataset containers and split utilities."""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["Dataset", "Subset", "stratified_split"]
+
+
+class Dataset:
+    """An in-memory labelled image dataset.
+
+    Attributes
+    ----------
+    x : ``(N, C, H, W)`` float32 images.
+    y : ``(N,)`` int64 labels.
+    ids : ``(N,)`` int64 stable global sample ids — selection bookkeeping
+        (loss histories, drop sets) is keyed on these, not on positions,
+        so subsetting never invalidates state.
+    """
+
+    def __init__(self, x: np.ndarray, y: np.ndarray, ids: np.ndarray | None = None):
+        x = np.asarray(x, dtype=np.float32)
+        y = np.asarray(y, dtype=np.int64)
+        if x.ndim != 4:
+            raise ValueError(f"x must be (N, C, H, W), got shape {x.shape}")
+        if y.ndim != 1 or y.shape[0] != x.shape[0]:
+            raise ValueError("y must be (N,) aligned with x")
+        self.x = x
+        self.y = y
+        if ids is None:
+            ids = np.arange(x.shape[0], dtype=np.int64)
+        else:
+            ids = np.asarray(ids, dtype=np.int64)
+            if ids.shape != y.shape:
+                raise ValueError("ids must be (N,) aligned with x")
+            if len(np.unique(ids)) != len(ids):
+                raise ValueError("ids must be unique")
+        self.ids = ids
+
+    def __len__(self) -> int:
+        return self.x.shape[0]
+
+    @property
+    def num_classes(self) -> int:
+        return int(self.y.max()) + 1 if len(self) else 0
+
+    @property
+    def image_shape(self) -> tuple:
+        return self.x.shape[1:]
+
+    def class_indices(self, label: int) -> np.ndarray:
+        """Positions (not ids) of all samples with the given label."""
+        return np.flatnonzero(self.y == label)
+
+    def subset(self, positions: np.ndarray) -> "Subset":
+        """View of the samples at the given positions."""
+        return Subset(self, np.asarray(positions, dtype=np.int64))
+
+    def subset_by_ids(self, ids: np.ndarray) -> "Subset":
+        """View of the samples with the given global ids."""
+        id_to_pos = {int(i): pos for pos, i in enumerate(self.ids)}
+        try:
+            positions = np.array([id_to_pos[int(i)] for i in ids], dtype=np.int64)
+        except KeyError as exc:
+            raise KeyError(f"id {exc.args[0]} not in dataset") from None
+        return Subset(self, positions)
+
+    def __repr__(self) -> str:
+        return f"Dataset(n={len(self)}, classes={self.num_classes}, shape={self.image_shape})"
+
+
+class Subset(Dataset):
+    """A dataset that shares storage with a parent but exposes a subset.
+
+    ``weights`` carries the optional per-sample CRAIG weights (cluster
+    sizes); ``None`` means uniform.
+    """
+
+    def __init__(self, parent: Dataset, positions: np.ndarray, weights: np.ndarray | None = None):
+        positions = np.asarray(positions, dtype=np.int64)
+        if len(positions) and (positions.min() < 0 or positions.max() >= len(parent)):
+            raise IndexError("subset positions out of range")
+        super().__init__(parent.x[positions], parent.y[positions], parent.ids[positions])
+        self.parent = parent
+        self.positions = positions
+        if weights is not None:
+            weights = np.asarray(weights, dtype=np.float64)
+            if weights.shape != (len(positions),):
+                raise ValueError("weights must align with positions")
+            if (weights < 0).any():
+                raise ValueError("weights must be non-negative")
+        self.weights = weights
+
+    def __repr__(self) -> str:
+        frac = 100.0 * len(self) / max(1, len(self.parent))
+        return f"Subset(n={len(self)}, {frac:.1f}% of parent)"
+
+
+def stratified_split(
+    dataset: Dataset, test_fraction: float, seed: int = 0
+) -> tuple[Subset, Subset]:
+    """Split into (train, test) preserving per-class proportions."""
+    if not 0.0 < test_fraction < 1.0:
+        raise ValueError("test_fraction must be in (0, 1)")
+    rng = np.random.default_rng(seed)
+    train_pos, test_pos = [], []
+    for label in range(dataset.num_classes):
+        pos = dataset.class_indices(label)
+        pos = rng.permutation(pos)
+        n_test = max(1, int(round(len(pos) * test_fraction)))
+        test_pos.append(pos[:n_test])
+        train_pos.append(pos[n_test:])
+    train = dataset.subset(np.sort(np.concatenate(train_pos)))
+    test = dataset.subset(np.sort(np.concatenate(test_pos)))
+    return train, test

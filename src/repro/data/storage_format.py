@@ -1,0 +1,168 @@
+"""On-flash dataset layout: a packed binary format with an offset index.
+
+The SmartSSD stores training sets as raw packed records; which *byte
+ranges* a subset gather touches depends on the record layout.  This
+module implements that layer for real:
+
+- :func:`save_dataset_bin` — serialize a dataset to a single packed file
+  (fixed-size records: image tensor + label), with a choice of layout:
+  ``"shuffled"`` (arrival order, the default for collected datasets) or
+  ``"class_clustered"`` (records grouped by label, which makes per-class
+  selection scans sequential);
+- :func:`load_dataset_bin` — read it back (whole or by record indices,
+  mimicking a scatter-gather);
+- :class:`DatasetLayout` — the offset index, which
+  :func:`repro.smartssd.trace.generate_subset_gather_trace` can consume
+  via :meth:`DatasetLayout.gather_trace` so replayed traces reflect the
+  *actual* on-flash geometry rather than an assumed one.
+"""
+
+from __future__ import annotations
+
+import json
+import struct
+from dataclasses import dataclass
+from pathlib import Path
+
+import numpy as np
+
+from repro.data.dataset import Dataset
+
+__all__ = ["DatasetLayout", "save_dataset_bin", "load_dataset_bin"]
+
+_MAGIC = b"NSSA"
+_VERSION = 1
+_HEADER_FMT = "<4sHHIIII"  # magic, version, reserved, n, c, h, w
+_HEADER_BYTES = struct.calcsize(_HEADER_FMT)
+
+
+@dataclass(frozen=True)
+class DatasetLayout:
+    """Offset index of a packed dataset file."""
+
+    path: Path
+    num_records: int
+    image_shape: tuple
+    record_bytes: int
+    data_offset: int
+    order: np.ndarray  # order[i] = global sample id stored at record i
+
+    def record_offset(self, record_index: int) -> int:
+        """Byte offset of a record by its *storage* position."""
+        if not 0 <= record_index < self.num_records:
+            raise IndexError("record index out of range")
+        return self.data_offset + record_index * self.record_bytes
+
+    def position_of_id(self, sample_id: int) -> int:
+        """Storage position of a global sample id."""
+        matches = np.flatnonzero(self.order == sample_id)
+        if len(matches) == 0:
+            raise KeyError(f"sample id {sample_id} not in layout")
+        return int(matches[0])
+
+    def gather_positions(self, sample_ids: np.ndarray) -> np.ndarray:
+        """Storage positions of the given sample ids (vectorized)."""
+        id_to_pos = np.full(int(self.order.max()) + 1, -1, dtype=np.int64)
+        id_to_pos[self.order] = np.arange(self.num_records)
+        positions = id_to_pos[np.asarray(sample_ids, dtype=np.int64)]
+        if (positions < 0).any():
+            raise KeyError("some sample ids are not in the layout")
+        return positions
+
+    def gather_trace(self, sample_ids: np.ndarray, batch_images: int = 128):
+        """Build the scatter-gather trace this subset produces on flash."""
+        from repro.smartssd.trace import generate_subset_gather_trace
+
+        positions = np.sort(self.gather_positions(sample_ids))
+        return generate_subset_gather_trace(
+            positions,
+            bytes_per_image=self.record_bytes,
+            batch_images=batch_images,
+            base_offset=self.data_offset,
+        )
+
+
+def save_dataset_bin(
+    dataset: Dataset, path, layout: str = "shuffled", seed: int = 0
+) -> DatasetLayout:
+    """Pack a dataset into a single binary file.
+
+    Record format: float32 image tensor (C*H*W values) followed by an
+    int64 label and the int64 global sample id.  ``layout`` controls the
+    record order on "flash":
+
+    - ``"shuffled"`` — a random permutation (how a collected dataset
+      actually lands on disk);
+    - ``"class_clustered"`` — grouped by label (the reorganized layout
+      the I/O-trace ablation studies).
+    """
+    if layout not in ("shuffled", "class_clustered"):
+        raise ValueError(f"unknown layout {layout!r}")
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+
+    n = len(dataset)
+    c, h, w = dataset.image_shape
+    if layout == "shuffled":
+        order = np.random.default_rng(seed).permutation(n)
+    else:
+        order = np.argsort(dataset.y, kind="stable")
+
+    record_bytes = c * h * w * 4 + 8 + 8
+    header = struct.pack(_HEADER_FMT, _MAGIC, _VERSION, 0, n, c, h, w)
+
+    with open(path, "wb") as fh:
+        fh.write(header)
+        for pos in order:
+            fh.write(dataset.x[pos].astype("<f4").tobytes())
+            fh.write(struct.pack("<qq", int(dataset.y[pos]), int(dataset.ids[pos])))
+
+    return DatasetLayout(
+        path=path,
+        num_records=n,
+        image_shape=(c, h, w),
+        record_bytes=record_bytes,
+        data_offset=_HEADER_BYTES,
+        order=dataset.ids[order],
+    )
+
+
+def _read_header(fh) -> tuple:
+    header = fh.read(_HEADER_BYTES)
+    if len(header) != _HEADER_BYTES:
+        raise ValueError("truncated dataset file")
+    magic, version, _, n, c, h, w = struct.unpack(_HEADER_FMT, header)
+    if magic != _MAGIC:
+        raise ValueError("not a packed dataset file (bad magic)")
+    if version != _VERSION:
+        raise ValueError(f"unsupported format version {version}")
+    return n, c, h, w
+
+
+def load_dataset_bin(path, record_indices: np.ndarray | None = None) -> Dataset:
+    """Read a packed dataset file (whole, or a scatter-gather of records)."""
+    path = Path(path)
+    with open(path, "rb") as fh:
+        n, c, h, w = _read_header(fh)
+        image_values = c * h * w
+        record_bytes = image_values * 4 + 16
+
+        if record_indices is None:
+            record_indices = np.arange(n)
+        record_indices = np.asarray(record_indices, dtype=np.int64)
+        if len(record_indices) and (
+            record_indices.min() < 0 or record_indices.max() >= n
+        ):
+            raise IndexError("record index out of range")
+
+        xs = np.empty((len(record_indices), c, h, w), dtype=np.float32)
+        ys = np.empty(len(record_indices), dtype=np.int64)
+        ids = np.empty(len(record_indices), dtype=np.int64)
+        for i, rec in enumerate(record_indices):
+            fh.seek(_HEADER_BYTES + int(rec) * record_bytes)
+            raw = fh.read(record_bytes)
+            if len(raw) != record_bytes:
+                raise ValueError("truncated record")
+            xs[i] = np.frombuffer(raw, dtype="<f4", count=image_values).reshape(c, h, w)
+            ys[i], ids[i] = struct.unpack_from("<qq", raw, image_values * 4)
+    return Dataset(xs, ys, ids=ids)

@@ -1,0 +1,216 @@
+"""Low-level numpy kernels: convolution via im2col, pooling, activations.
+
+All kernels operate on arrays shaped ``(N, C, H, W)`` (batch, channels,
+height, width) in float32 and come in forward/backward pairs.  The backward
+functions take the upstream gradient and whatever cached values the forward
+pass produced, mirroring how the module layer in :mod:`repro.nn.modules`
+drives them.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = [
+    "im2col",
+    "col2im",
+    "conv2d",
+    "conv2d_backward",
+    "max_pool2d",
+    "max_pool2d_backward",
+    "avg_pool2d",
+    "avg_pool2d_backward",
+    "relu",
+    "relu_backward",
+    "softmax",
+    "log_softmax",
+]
+
+
+def _out_size(size: int, kernel: int, stride: int, pad: int) -> int:
+    """Spatial output size of a conv/pool window sweep."""
+    return (size + 2 * pad - kernel) // stride + 1
+
+
+def im2col(x: np.ndarray, kernel: int, stride: int = 1, pad: int = 0) -> np.ndarray:
+    """Unfold ``(N, C, H, W)`` into ``(N * OH * OW, C * kernel * kernel)``.
+
+    Each row is one receptive field, so a convolution becomes a single
+    matrix multiply against the flattened filter bank.
+    """
+    n, c, h, w = x.shape
+    oh = _out_size(h, kernel, stride, pad)
+    ow = _out_size(w, kernel, stride, pad)
+    if pad > 0:
+        x = np.pad(x, ((0, 0), (0, 0), (pad, pad), (pad, pad)), mode="constant")
+
+    cols = np.empty((n, c, kernel, kernel, oh, ow), dtype=x.dtype)
+    for ky in range(kernel):
+        y_max = ky + stride * oh
+        for kx in range(kernel):
+            x_max = kx + stride * ow
+            cols[:, :, ky, kx, :, :] = x[:, :, ky:y_max:stride, kx:x_max:stride]
+    return cols.transpose(0, 4, 5, 1, 2, 3).reshape(n * oh * ow, -1)
+
+
+def col2im(
+    cols: np.ndarray,
+    x_shape: tuple,
+    kernel: int,
+    stride: int = 1,
+    pad: int = 0,
+) -> np.ndarray:
+    """Fold the im2col matrix back to ``(N, C, H, W)``, summing overlaps.
+
+    This is the adjoint of :func:`im2col` and therefore exactly the gradient
+    routing a convolution's backward pass needs.
+    """
+    n, c, h, w = x_shape
+    oh = _out_size(h, kernel, stride, pad)
+    ow = _out_size(w, kernel, stride, pad)
+    cols = cols.reshape(n, oh, ow, c, kernel, kernel).transpose(0, 3, 4, 5, 1, 2)
+
+    x = np.zeros((n, c, h + 2 * pad, w + 2 * pad), dtype=cols.dtype)
+    for ky in range(kernel):
+        y_max = ky + stride * oh
+        for kx in range(kernel):
+            x_max = kx + stride * ow
+            x[:, :, ky:y_max:stride, kx:x_max:stride] += cols[:, :, ky, kx, :, :]
+    if pad > 0:
+        return x[:, :, pad : pad + h, pad : pad + w]
+    return x
+
+
+def conv2d(
+    x: np.ndarray,
+    weight: np.ndarray,
+    bias: np.ndarray | None = None,
+    stride: int = 1,
+    pad: int = 0,
+) -> tuple[np.ndarray, np.ndarray]:
+    """2-D convolution. ``weight`` is ``(C_out, C_in, K, K)``.
+
+    Returns ``(output, cols)`` where ``cols`` is the im2col cache the
+    backward pass reuses.
+    """
+    n, _, h, w = x.shape
+    c_out, _, k, _ = weight.shape
+    oh = _out_size(h, k, stride, pad)
+    ow = _out_size(w, k, stride, pad)
+
+    cols = im2col(x, k, stride, pad)
+    out = cols @ weight.reshape(c_out, -1).T
+    if bias is not None:
+        out += bias
+    out = out.reshape(n, oh, ow, c_out).transpose(0, 3, 1, 2)
+    return out, cols
+
+
+def conv2d_backward(
+    grad_out: np.ndarray,
+    cols: np.ndarray,
+    x_shape: tuple,
+    weight: np.ndarray,
+    stride: int = 1,
+    pad: int = 0,
+    with_bias: bool = False,
+) -> tuple[np.ndarray, np.ndarray, np.ndarray | None]:
+    """Backward pass of :func:`conv2d`.
+
+    Returns ``(grad_x, grad_weight, grad_bias)``; ``grad_bias`` is ``None``
+    unless ``with_bias`` is set.
+    """
+    c_out, c_in, k, _ = weight.shape
+    grad_flat = grad_out.transpose(0, 2, 3, 1).reshape(-1, c_out)
+
+    grad_weight = (grad_flat.T @ cols).reshape(c_out, c_in, k, k)
+    grad_bias = grad_flat.sum(axis=0) if with_bias else None
+    grad_cols = grad_flat @ weight.reshape(c_out, -1)
+    grad_x = col2im(grad_cols, x_shape, k, stride, pad)
+    return grad_x, grad_weight, grad_bias
+
+
+def max_pool2d(
+    x: np.ndarray, kernel: int, stride: int | None = None
+) -> tuple[np.ndarray, np.ndarray]:
+    """Max pooling. Returns ``(output, argmax)`` with argmax cached for backward."""
+    stride = stride or kernel
+    n, c, h, w = x.shape
+    oh = _out_size(h, kernel, stride, 0)
+    ow = _out_size(w, kernel, stride, 0)
+
+    cols = im2col(x, kernel, stride, 0).reshape(n * oh * ow, c, kernel * kernel)
+    # im2col rows are (c, k*k) blocks ordered channel-major after the reshape
+    cols = cols.reshape(n * oh * ow * c, kernel * kernel)
+    argmax = cols.argmax(axis=1)
+    out = cols[np.arange(cols.shape[0]), argmax]
+    out = out.reshape(n, oh, ow, c).transpose(0, 3, 1, 2)
+    return out, argmax
+
+
+def max_pool2d_backward(
+    grad_out: np.ndarray,
+    argmax: np.ndarray,
+    x_shape: tuple,
+    kernel: int,
+    stride: int | None = None,
+) -> np.ndarray:
+    """Backward pass of :func:`max_pool2d` — route gradients to the argmax."""
+    stride = stride or kernel
+    n, c, h, w = x_shape
+    oh = _out_size(h, kernel, stride, 0)
+    ow = _out_size(w, kernel, stride, 0)
+
+    grad_flat = grad_out.transpose(0, 2, 3, 1).reshape(-1)
+    grad_cols = np.zeros((n * oh * ow * c, kernel * kernel), dtype=grad_out.dtype)
+    grad_cols[np.arange(grad_cols.shape[0]), argmax] = grad_flat
+    grad_cols = grad_cols.reshape(n * oh * ow, c * kernel * kernel)
+    return col2im(grad_cols, x_shape, kernel, stride, 0)
+
+
+def avg_pool2d(x: np.ndarray, kernel: int, stride: int | None = None) -> np.ndarray:
+    """Average pooling over non-overlapping (or strided) windows."""
+    stride = stride or kernel
+    n, c, h, w = x.shape
+    oh = _out_size(h, kernel, stride, 0)
+    ow = _out_size(w, kernel, stride, 0)
+    cols = im2col(x, kernel, stride, 0).reshape(n * oh * ow, c, kernel * kernel)
+    out = cols.mean(axis=2)
+    return out.reshape(n, oh, ow, c).transpose(0, 3, 1, 2)
+
+
+def avg_pool2d_backward(
+    grad_out: np.ndarray, x_shape: tuple, kernel: int, stride: int | None = None
+) -> np.ndarray:
+    """Backward pass of :func:`avg_pool2d` — spread gradients uniformly."""
+    stride = stride or kernel
+    n, c, h, w = x_shape
+    oh = _out_size(h, kernel, stride, 0)
+    ow = _out_size(w, kernel, stride, 0)
+    grad = grad_out.transpose(0, 2, 3, 1).reshape(n * oh * ow, c, 1)
+    grad_cols = np.broadcast_to(grad / (kernel * kernel), (n * oh * ow, c, kernel * kernel))
+    grad_cols = grad_cols.reshape(n * oh * ow, c * kernel * kernel)
+    return col2im(grad_cols, x_shape, kernel, stride, 0)
+
+
+def relu(x: np.ndarray) -> np.ndarray:
+    """Rectified linear activation."""
+    return np.maximum(x, 0.0)
+
+
+def relu_backward(grad_out: np.ndarray, x: np.ndarray) -> np.ndarray:
+    """Backward pass of :func:`relu` given the forward input."""
+    return grad_out * (x > 0)
+
+
+def softmax(logits: np.ndarray, axis: int = -1) -> np.ndarray:
+    """Numerically-stable softmax."""
+    shifted = logits - logits.max(axis=axis, keepdims=True)
+    exp = np.exp(shifted)
+    return exp / exp.sum(axis=axis, keepdims=True)
+
+
+def log_softmax(logits: np.ndarray, axis: int = -1) -> np.ndarray:
+    """Numerically-stable log-softmax."""
+    shifted = logits - logits.max(axis=axis, keepdims=True)
+    return shifted - np.log(np.exp(shifted).sum(axis=axis, keepdims=True))

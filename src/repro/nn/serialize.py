@@ -1,0 +1,77 @@
+"""Model and history serialization.
+
+Checkpoints are plain ``.npz`` archives of the model's state dict (the
+dotted-name parameter/buffer mapping from
+:meth:`repro.nn.modules.Module.state_dict`), so they are portable across
+processes and inspectable with numpy alone.  Training histories dump to
+JSON for the benchmark harness and examples.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+import numpy as np
+
+from repro.nn.modules import Module
+
+__all__ = ["save_model", "load_model", "save_history", "load_history"]
+
+
+def save_model(model: Module, path) -> Path:
+    """Write the model's parameters and buffers to an ``.npz`` checkpoint."""
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    state = model.state_dict()
+    # npz keys cannot be empty; dotted names are fine.
+    np.savez(path, **state)
+    return path if path.suffix == ".npz" else path.with_suffix(path.suffix + ".npz")
+
+
+def load_model(model: Module, path) -> Module:
+    """Load a checkpoint into an already-constructed model (in place).
+
+    The architecture must match — extra/missing/mis-shaped keys raise.
+    """
+    path = Path(path)
+    if not path.exists() and path.with_suffix(path.suffix + ".npz").exists():
+        path = path.with_suffix(path.suffix + ".npz")
+    with np.load(path) as archive:
+        state = {key: archive[key] for key in archive.files}
+    model.load_state_dict(state)
+    return model
+
+
+def save_history(history, path) -> Path:
+    """Dump a TrainingHistory to JSON."""
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    records = [
+        {
+            "epoch": r.epoch,
+            "train_loss": r.train_loss,
+            "test_accuracy": r.test_accuracy,
+            "subset_size": r.subset_size,
+            "subset_fraction": r.subset_fraction,
+            "samples_trained": r.samples_trained,
+            "selection_ran": r.selection_ran,
+            "feedback_bytes": r.feedback_bytes,
+            "dropped_samples": r.dropped_samples,
+            "lr": r.lr,
+        }
+        for r in history.records
+    ]
+    path.write_text(json.dumps({"method": history.method, "records": records}, indent=1))
+    return path
+
+
+def load_history(path):
+    """Load a TrainingHistory from JSON."""
+    from repro.core.metrics import EpochRecord, TrainingHistory
+
+    data = json.loads(Path(path).read_text())
+    history = TrainingHistory(method=data["method"])
+    for r in data["records"]:
+        history.append(EpochRecord(**r))
+    return history

@@ -1,0 +1,94 @@
+"""Near-storage suitability analysis (paper §2.2, after Ruan et al. [33]).
+
+The paper adopts two criteria from the EISC study for deciding whether a
+workload belongs on an FPGA near storage:
+
+1. **High relative data ratio** — more data should be read from storage
+   than is shipped over the drive-host interconnect.  For subset
+   selection the ratio is |V|/|S|: the whole pool is read on-device but
+   only the subset leaves.
+2. **Low operational intensity** — few compute cycles per input byte,
+   so the accelerator can keep up with ("saturate") the drive's internal
+   bandwidth instead of becoming the bottleneck.
+
+:func:`analyze_selection_workload` evaluates both criteria for a
+selection kernel configuration, which makes the design choice documented
+in DESIGN.md quantitative: scoring cached embeddings with the classifier
+head passes both tests; running the full CNN forward per candidate fails
+the intensity test by orders of magnitude.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.smartssd.kernel import SelectionKernel
+
+__all__ = ["SuitabilityReport", "analyze_selection_workload"]
+
+
+@dataclass(frozen=True)
+class SuitabilityReport:
+    """Outcome of the two EISC criteria for one workload."""
+
+    data_ratio: float  # storage bytes read / interconnect bytes shipped
+    macs_per_byte: float  # operational intensity of the kernel
+    kernel_bytes_per_s: float  # rate the kernel can consume input
+    drive_bytes_per_s: float  # what it must keep up with
+    saturates_drive: bool  # criterion 2
+    high_data_ratio: bool  # criterion 1
+
+    @property
+    def suitable(self) -> bool:
+        """Both criteria hold — the workload belongs near storage."""
+        return self.saturates_drive and self.high_data_ratio
+
+    def summary(self) -> str:
+        return (
+            f"data ratio {self.data_ratio:.2f}x "
+            f"({'high' if self.high_data_ratio else 'LOW'}), "
+            f"intensity {self.macs_per_byte:.1f} MACs/B -> "
+            f"{self.kernel_bytes_per_s / 1e9:.2f} GB/s consumed vs "
+            f"{self.drive_bytes_per_s / 1e9:.2f} GB/s drive "
+            f"({'saturates' if self.saturates_drive else 'BOTTLENECKS'})"
+        )
+
+
+def analyze_selection_workload(
+    bytes_read_per_sample: float,
+    macs_per_sample: float,
+    subset_fraction: float,
+    kernel: SelectionKernel | None = None,
+    drive_bytes_per_s: float = 3.0e9,
+    data_ratio_threshold: float = 2.0,
+) -> SuitabilityReport:
+    """Evaluate the paper's two near-storage suitability criteria.
+
+    Parameters
+    ----------
+    bytes_read_per_sample : what the kernel streams from flash per
+        candidate (an embedding, a thumbnail, or a full image).
+    macs_per_sample : the kernel work per candidate.
+    subset_fraction : |S|/|V| — what fraction of what is read eventually
+        crosses the interconnect.
+    """
+    if bytes_read_per_sample <= 0 or macs_per_sample < 0:
+        raise ValueError("invalid per-sample workload")
+    if not 0.0 < subset_fraction <= 1.0:
+        raise ValueError("subset_fraction must be in (0, 1]")
+    kernel = kernel or SelectionKernel()
+
+    data_ratio = 1.0 / subset_fraction
+    macs_per_byte = macs_per_sample / bytes_read_per_sample
+    if macs_per_byte == 0:
+        kernel_rate = float("inf")
+    else:
+        kernel_rate = kernel.macs_per_second * 0.75 / macs_per_byte
+    return SuitabilityReport(
+        data_ratio=data_ratio,
+        macs_per_byte=macs_per_byte,
+        kernel_bytes_per_s=kernel_rate,
+        drive_bytes_per_s=drive_bytes_per_s,
+        saturates_drive=kernel_rate >= drive_bytes_per_s,
+        high_data_ratio=data_ratio >= data_ratio_threshold,
+    )

@@ -1,0 +1,111 @@
+"""Epoch-time decomposition: host data ingest vs GPU compute.
+
+This is the model behind Figures 1, 2 and 4.  An epoch of conventional
+GPU training decomposes into
+
+- **ingest** — reading the dataset off storage, decoding it, and staging
+  it to the GPU.  Modelled per image as a fixed dispatch cost, a
+  per-pixel collate/augment cost, and a per-byte cost at the format's
+  decode bandwidth (raw tensors stream near storage speed; JPEG decode is
+  ~80 MB/s per pipeline, the effective rate behind Figure 2's 40.4%
+  data-movement share for ImageNet-100);
+- **compute** — ``3 x forward FLOPs`` per image at the GPU's effective
+  throughput (:meth:`repro.perf.gpus.GPUSpec.effective_tflops`).
+
+The calibration anchors are the paper's published points: MNIST spends
+5.4% of epoch time moving data, ImageNet-100 spends 40.4% (Section 1 /
+Figure 2).  ``tests/perf`` checks both anchors.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.perf.gpus import GPUSpec
+
+__all__ = ["HostIngestModel", "GPUComputeModel", "EpochBreakdown", "epoch_time_breakdown"]
+
+
+@dataclass(frozen=True)
+class HostIngestModel:
+    """Storage → CPU → GPU data path of a conventional training node."""
+
+    per_image_s: float = 0.5e-6  # request dispatch / indexing
+    per_pixel_s: float = 0.5e-9  # collate + normalize + augment
+    raw_bytes_per_s: float = 1.0e9  # raw tensor formats (MNIST/CIFAR)
+    decode_bytes_per_s: float = 40.0e6  # JPEG-decode pipelines (ImageNet)
+
+    def ingest_time(
+        self,
+        num_images: int,
+        bytes_per_image: float,
+        pixels_per_image: int,
+        compressed: bool,
+    ) -> float:
+        """Seconds to move one epoch's data from storage into GPU memory."""
+        if num_images < 0 or bytes_per_image < 0 or pixels_per_image < 0:
+            raise ValueError("negative ingest parameters")
+        bw = self.decode_bytes_per_s if compressed else self.raw_bytes_per_s
+        per_image = (
+            self.per_image_s
+            + pixels_per_image * self.per_pixel_s
+            + bytes_per_image / bw
+        )
+        return num_images * per_image
+
+
+@dataclass(frozen=True)
+class GPUComputeModel:
+    """GPU training compute at size-dependent effective throughput."""
+
+    gpu: GPUSpec
+
+    def epoch_compute_time(
+        self,
+        num_images: int,
+        forward_flops_per_image: float,
+        mixed_precision: bool = False,
+    ) -> float:
+        """Seconds of GPU compute for one epoch (forward + backward)."""
+        if num_images < 0:
+            raise ValueError("negative image count")
+        eff = self.gpu.effective_tflops(forward_flops_per_image, mixed_precision) * 1e12
+        return num_images * 3.0 * forward_flops_per_image / eff
+
+
+@dataclass(frozen=True)
+class EpochBreakdown:
+    """One epoch's time split (the Figure 2 bar for one dataset)."""
+
+    ingest_time: float
+    compute_time: float
+
+    @property
+    def total(self) -> float:
+        return self.ingest_time + self.compute_time
+
+    @property
+    def movement_fraction(self) -> float:
+        """Share of the epoch spent on data movement (Figure 2's metric)."""
+        if self.total == 0:
+            return 0.0
+        return self.ingest_time / self.total
+
+
+def epoch_time_breakdown(
+    num_images: int,
+    bytes_per_image: float,
+    pixels_per_image: int,
+    forward_flops_per_image: float,
+    gpu: GPUSpec,
+    compressed: bool = False,
+    mixed_precision: bool = False,
+    ingest: HostIngestModel | None = None,
+) -> EpochBreakdown:
+    """Full-dataset conventional-training epoch decomposition."""
+    ingest = ingest or HostIngestModel()
+    load = ingest.ingest_time(num_images, bytes_per_image, pixels_per_image, compressed)
+    compute = GPUComputeModel(gpu).epoch_compute_time(
+        num_images, forward_flops_per_image, mixed_precision
+    )
+    return EpochBreakdown(ingest_time=load, compute_time=compute)

@@ -1,0 +1,135 @@
+"""Multi-SmartSSD / multi-GPU scaling model (the paper's future work).
+
+Section 5: *"We are currently working on extending this work for larger
+datasets and models scaling over multiple SmartSSDs and GPUs."*  This
+module prices that extension on the same component models:
+
+- the dataset is sharded across ``num_devices`` SmartSSDs, each of which
+  selects over its shard in parallel (GreeDi round 1 on-device, the
+  cheap round-2 merge on the host — see
+  :mod:`repro.selection.distributed`);
+- training is data-parallel over ``num_gpus``, with a ring all-reduce of
+  the gradients each step over the host interconnect.
+
+The model exposes per-epoch timing and the scaling-efficiency curve the
+extension would be evaluated on.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.pipeline.system import EpochTiming, SystemModel
+from repro.smartssd.device import DataMovement
+
+__all__ = ["MultiDeviceSystem", "ScalingPoint"]
+
+
+@dataclass(frozen=True)
+class ScalingPoint:
+    """One point of the scaling curve."""
+
+    num_devices: int
+    epoch_time: float
+    speedup_vs_single: float
+    efficiency: float  # speedup / num_devices
+
+
+class MultiDeviceSystem:
+    """NeSSA scaled over N SmartSSDs feeding N data-parallel GPUs."""
+
+    def __init__(
+        self,
+        dataset: str,
+        num_devices: int = 2,
+        allreduce_bytes_per_s: float = 10e9,  # NVLink-class collective bw
+        merge_overhead_s: float = 0.05,  # GreeDi round-2 on the host
+    ):
+        if num_devices < 1:
+            raise ValueError("num_devices must be >= 1")
+        self.base = SystemModel(dataset)
+        self.num_devices = num_devices
+        self.allreduce_bytes_per_s = allreduce_bytes_per_s
+        self.merge_overhead_s = merge_overhead_s
+
+    def _allreduce_time(self, steps: int) -> float:
+        """Ring all-reduce of fp32 gradients, once per optimization step."""
+        if self.num_devices == 1:
+            return 0.0
+        params = _param_bytes(self.base.dataset.name)
+        n = self.num_devices
+        per_step = 2.0 * params * (n - 1) / n / self.allreduce_bytes_per_s
+        return steps * per_step
+
+    def nessa_epoch(self, pool_fraction: float = 1.0) -> EpochTiming:
+        """One data-parallel NeSSA epoch across all devices."""
+        single = self.base.nessa_epoch(pool_fraction=pool_fraction)
+        n = self.num_devices
+
+        k = int(self.base.dataset.subset_fraction * self.base.dataset.train_size)
+        steps = max(1, k // (self.base.batch_size * n))
+
+        # Selection and subset transfer shard perfectly; training compute
+        # divides across GPUs but pays the all-reduce.
+        compute = single.compute_time / n + self._allreduce_time(steps)
+        selection = single.selection_time / n + (self.merge_overhead_s if n > 1 else 0.0)
+        ingest = single.ingest_time / n
+        feedback = single.feedback_time  # weights broadcast, unsharded
+
+        movement = DataMovement(
+            ssd_to_fpga=single.movement.ssd_to_fpga,
+            host_to_gpu=single.movement.host_to_gpu,
+            host_to_fpga=single.movement.host_to_fpga * n,  # one replica each
+        )
+        return EpochTiming(
+            method=f"nessa-x{n}",
+            ingest_time=ingest,
+            selection_time=selection,
+            compute_time=compute,
+            feedback_time=feedback,
+            movement=movement,
+        )
+
+    def scaling_curve(self, max_devices: int = 8, pool_fraction: float = 1.0) -> list:
+        """Epoch time and efficiency at 1..max_devices devices."""
+        if max_devices < 1:
+            raise ValueError("max_devices must be >= 1")
+        single = MultiDeviceSystem(
+            self.base.dataset.name,
+            num_devices=1,
+            allreduce_bytes_per_s=self.allreduce_bytes_per_s,
+            merge_overhead_s=self.merge_overhead_s,
+        ).nessa_epoch(pool_fraction).total
+
+        points = []
+        for n in range(1, max_devices + 1):
+            system = MultiDeviceSystem(
+                self.base.dataset.name,
+                num_devices=n,
+                allreduce_bytes_per_s=self.allreduce_bytes_per_s,
+                merge_overhead_s=self.merge_overhead_s,
+            )
+            t = system.nessa_epoch(pool_fraction).total
+            speedup = single / t
+            points.append(
+                ScalingPoint(
+                    num_devices=n,
+                    epoch_time=t,
+                    speedup_vs_single=speedup,
+                    efficiency=speedup / n,
+                )
+            )
+        return points
+
+
+def _param_bytes(dataset_name: str) -> float:
+    """fp32 gradient payload of each Table 1 network."""
+    params = {
+        "cifar10": 0.27e6,
+        "svhn": 11.2e6,
+        "cinic10": 11.2e6,
+        "cifar100": 11.2e6,
+        "tinyimagenet": 11.3e6,
+        "imagenet100": 25.6e6,
+    }[dataset_name]
+    return 4.0 * params

@@ -1,0 +1,112 @@
+"""Subset biasing: drop learned samples from the candidate pool (paper §3.2.2).
+
+The paper: *"We record losses of the current training examples from the
+most recent five epochs, mark the samples with small values, and drop the
+marked samples from the training set every twenty epochs."*
+
+:class:`LossHistory` keeps a bounded per-sample window of recent losses
+keyed by global sample id (so it survives subsetting), and implements the
+marking/dropping policy.  "Small" is defined by a quantile of the mean
+recent loss over samples that have enough history — the paper leaves the
+threshold unspecified; the quantile and the conservative 20-epoch period
+are both exposed as knobs and swept by the ablation benchmark.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+
+import numpy as np
+
+__all__ = ["LossHistory"]
+
+
+class LossHistory:
+    """Per-sample loss window + learned-sample dropping policy."""
+
+    def __init__(
+        self,
+        window: int = 5,
+        drop_period: int = 20,
+        drop_quantile: float = 0.3,
+        min_history: int = 3,
+    ):
+        if window < 1:
+            raise ValueError("window must be >= 1")
+        if drop_period < 1:
+            raise ValueError("drop_period must be >= 1")
+        if not 0.0 <= drop_quantile < 1.0:
+            raise ValueError("drop_quantile must be in [0, 1)")
+        self.window = window
+        self.drop_period = drop_period
+        self.drop_quantile = drop_quantile
+        self.min_history = min_history
+        self._history: dict[int, deque] = {}
+        self._dropped: set[int] = set()
+        self._epochs_recorded = 0
+
+    def record(self, ids: np.ndarray, losses: np.ndarray) -> None:
+        """Record one epoch's per-sample losses (only for samples seen)."""
+        if len(ids) != len(losses):
+            raise ValueError("ids and losses must align")
+        for sample_id, loss in zip(ids, losses):
+            key = int(sample_id)
+            if key not in self._history:
+                self._history[key] = deque(maxlen=self.window)
+            self._history[key].append(float(loss))
+        self._epochs_recorded += 1
+
+    def mean_recent_loss(self, sample_id: int) -> float | None:
+        """Mean loss over the recent window, or None if never recorded."""
+        hist = self._history.get(int(sample_id))
+        if not hist:
+            return None
+        return float(np.mean(hist))
+
+    def should_drop_now(self, epoch: int) -> bool:
+        """The paper drops every ``drop_period`` epochs (not at epoch 0)."""
+        return epoch > 0 and epoch % self.drop_period == 0
+
+    def mark_learned(self, candidate_ids: np.ndarray) -> np.ndarray:
+        """Ids among ``candidate_ids`` whose recent loss is in the low quantile.
+
+        Only samples with at least ``min_history`` recorded epochs are
+        eligible — a sample that was barely trained on is not "learned".
+        """
+        eligible, means = [], []
+        for sample_id in candidate_ids:
+            hist = self._history.get(int(sample_id))
+            if hist is not None and len(hist) >= self.min_history:
+                eligible.append(int(sample_id))
+                means.append(float(np.mean(hist)))
+        if not eligible:
+            return np.zeros(0, dtype=np.int64)
+        means_arr = np.asarray(means)
+        threshold = np.quantile(means_arr, self.drop_quantile)
+        marked = np.asarray(eligible, dtype=np.int64)[means_arr <= threshold]
+        return marked
+
+    def drop(self, ids: np.ndarray) -> None:
+        """Permanently remove ids from future candidate pools."""
+        self._dropped.update(int(i) for i in ids)
+
+    def filter_candidates(self, candidate_ids: np.ndarray) -> np.ndarray:
+        """Remove previously-dropped ids from a candidate pool.
+
+        Never returns an empty pool: if everything was dropped (degenerate
+        configuration), the original pool is returned untouched.
+        """
+        keep = np.asarray(
+            [int(i) not in self._dropped for i in candidate_ids], dtype=bool
+        )
+        if not keep.any():
+            return np.asarray(candidate_ids, dtype=np.int64)
+        return np.asarray(candidate_ids, dtype=np.int64)[keep]
+
+    @property
+    def num_dropped(self) -> int:
+        return len(self._dropped)
+
+    @property
+    def num_tracked(self) -> int:
+        return len(self._history)

@@ -1,0 +1,147 @@
+"""CRAIG coreset selection (Mirzasoleiman, Bilmes, Leskovec — ICML'20).
+
+The baseline the paper builds on and compares against: per class, find the
+medoids of the last-layer gradient proxies by maximizing facility location,
+and weight each medoid by its cluster size so the weighted subset gradient
+approximates the full gradient (paper Eqs. 3-5).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.data.dataset import Dataset, Subset
+from repro.selection.facility import (
+    lazy_greedy,
+    medoid_weights,
+    similarity_from_distances,
+    stochastic_greedy,
+)
+from repro.selection.gradients import compute_gradient_proxies
+
+__all__ = ["SelectionResult", "craig_select_class", "CraigSelector"]
+
+
+@dataclass
+class SelectionResult:
+    """Outcome of one selection round.
+
+    ``positions`` index into the candidate dataset; ``weights`` are the
+    CRAIG medoid weights (uniform for unweighted selectors);
+    ``pairwise_bytes`` records how much similarity state the selection
+    touched (drives the FPGA on-chip memory accounting);
+    ``proxy_flops`` the forward-pass cost of proxy computation.
+    """
+
+    positions: np.ndarray
+    weights: np.ndarray
+    pairwise_bytes: int = 0
+    proxy_flops: float = 0.0
+
+    def __post_init__(self):
+        if self.positions.shape != self.weights.shape:
+            raise ValueError("positions and weights must align")
+
+
+def craig_select_class(
+    vectors: np.ndarray,
+    k: int,
+    method: str = "lazy",
+    epsilon: float = 0.1,
+    rng: np.random.Generator | None = None,
+) -> tuple[np.ndarray, np.ndarray, int]:
+    """Select ``k`` medoids from one class's proxy vectors.
+
+    Returns ``(local_indices, weights, pairwise_bytes)`` where
+    ``pairwise_bytes`` is the similarity-matrix footprint (fp32), i.e. what
+    would have to fit in the FPGA's on-chip memory without partitioning.
+    """
+    n = vectors.shape[0]
+    if n == 0:
+        return (np.zeros(0, np.int64), np.zeros(0, np.float64), 0)
+    k = min(k, n)
+    diffs = vectors[:, None, :] - vectors[None, :, :]
+    distances = np.sqrt((diffs**2).sum(axis=2))
+    similarity = similarity_from_distances(distances)
+    if method == "lazy":
+        sel = lazy_greedy(similarity, k)
+    elif method == "stochastic":
+        sel = stochastic_greedy(similarity, k, epsilon=epsilon, rng=rng)
+    else:
+        raise ValueError(f"unknown method {method!r} (use 'lazy' or 'stochastic')")
+    weights = medoid_weights(similarity, sel)
+    pairwise_bytes = n * n * 4
+    return sel, weights, pairwise_bytes
+
+
+class CraigSelector:
+    """Per-class CRAIG selection over a dataset.
+
+    Subset sizes are allocated to classes proportionally to class size, so
+    the selected fraction is uniform across classes (what both CRAIG and
+    the paper do).
+    """
+
+    name = "craig"
+
+    def __init__(self, method: str = "lazy", epsilon: float = 0.1, seed: int = 0):
+        self.method = method
+        self.epsilon = epsilon
+        self.rng = np.random.default_rng(seed)
+
+    def select(
+        self,
+        dataset: Dataset,
+        fraction: float,
+        model,
+        candidates: np.ndarray | None = None,
+    ) -> SelectionResult:
+        """Select ``fraction`` of ``dataset`` (restricted to ``candidates``).
+
+        ``model`` provides the forward pass for gradient proxies —
+        the live target model for CPU CRAIG, the quantized snapshot for
+        NeSSA.  ``candidates`` are dataset positions (default: all).
+        """
+        if not 0.0 < fraction <= 1.0:
+            raise ValueError("fraction must be in (0, 1]")
+        if candidates is None:
+            candidates = np.arange(len(dataset), dtype=np.int64)
+        candidates = np.asarray(candidates, dtype=np.int64)
+
+        proxy = compute_gradient_proxies(
+            model,
+            dataset.x[candidates],
+            dataset.y[candidates],
+            ids=dataset.ids[candidates],
+        )
+
+        k_total = max(1, int(round(fraction * len(candidates))))
+        labels = dataset.y[candidates]
+        positions, weights, pairwise = [], [], 0
+        for label in np.unique(labels):
+            local = np.flatnonzero(labels == label)
+            k_c = max(1, int(round(k_total * len(local) / len(candidates))))
+            sel, w, nbytes = craig_select_class(
+                proxy.vectors[local],
+                k_c,
+                method=self.method,
+                epsilon=self.epsilon,
+                rng=self.rng,
+            )
+            positions.append(candidates[local[sel]])
+            weights.append(w)
+            pairwise = max(pairwise, nbytes)
+
+        return SelectionResult(
+            positions=np.concatenate(positions),
+            weights=np.concatenate(weights),
+            pairwise_bytes=pairwise,
+            proxy_flops=proxy.flops,
+        )
+
+    def subset(self, dataset: Dataset, fraction: float, model) -> Subset:
+        """Convenience: run :meth:`select` and wrap as a weighted Subset."""
+        result = self.select(dataset, fraction, model)
+        return Subset(dataset, result.positions, weights=result.weights)

@@ -1,0 +1,147 @@
+"""Submodular facility-location maximization (paper Eq. 5).
+
+Given pairwise similarities ``s[i, j]`` between candidates, facility
+location scores a set S as ``F(S) = sum_i max_{j in S} s[i, j]``.  The set
+of medoids maximizing F under a cardinality constraint upper-bounds the
+gradient estimation error of training on S instead of V (paper Eq. 3-5).
+
+Two maximizers are provided:
+
+- :func:`lazy_greedy` — Minoux's accelerated greedy.  Exact greedy result,
+  (1 - 1/e)-optimal, using a max-heap of stale marginal gains.
+- :func:`stochastic_greedy` — Mirzasoleiman et al.'s "lazier than lazy
+  greedy": each step evaluates a random candidate sample of size
+  ``n/k * log(1/eps)``, giving (1 - 1/e - eps) in O(n log 1/eps) total
+  evaluations.  This is the O(N) method the paper cites for the FPGA.
+"""
+
+from __future__ import annotations
+
+import heapq
+
+import numpy as np
+
+__all__ = [
+    "similarity_from_distances",
+    "facility_location_value",
+    "lazy_greedy",
+    "stochastic_greedy",
+    "medoid_weights",
+]
+
+
+def similarity_from_distances(distances: np.ndarray, c0: float | None = None) -> np.ndarray:
+    """Map pairwise distances to the paper's similarity ``c0 - d``.
+
+    ``c0`` defaults to ``d.max()``, the smallest constant keeping every
+    similarity non-negative (the condition below paper Eq. 5).
+    """
+    distances = np.asarray(distances, dtype=np.float64)
+    if distances.ndim != 2 or distances.shape[0] != distances.shape[1]:
+        raise ValueError("distances must be a square matrix")
+    if c0 is None:
+        c0 = float(distances.max())
+    if c0 < distances.max():
+        raise ValueError("c0 must dominate every pairwise distance")
+    return c0 - distances
+
+
+def facility_location_value(similarity: np.ndarray, selected: np.ndarray) -> float:
+    """Evaluate ``F(S) = sum_i max_{j in S} s[i, j]``."""
+    selected = np.asarray(selected, dtype=np.int64)
+    if selected.size == 0:
+        return 0.0
+    return float(similarity[:, selected].max(axis=1).sum())
+
+
+def lazy_greedy(similarity: np.ndarray, k: int) -> np.ndarray:
+    """Exact greedy facility-location maximization with lazy evaluation.
+
+    Returns the selected column indices in pick order.  With submodular F,
+    a candidate whose stale gain already beats every other stale gain needs
+    no re-evaluation — the heap discipline below implements exactly that.
+    """
+    n = _check(similarity, k)
+    if k >= n:
+        return np.arange(n, dtype=np.int64)
+
+    # current_best[i] = max_{j in S} s[i, j]
+    current_best = np.zeros(n, dtype=np.float64)
+    gains = similarity.sum(axis=0)  # gain of each singleton from F(empty)=0
+    heap = [(-g, j, 0) for j, g in enumerate(gains)]  # (neg gain, idx, round evaluated)
+    heapq.heapify(heap)
+
+    selected: list[int] = []
+    while len(selected) < k and heap:
+        neg_gain, j, evaluated_at = heapq.heappop(heap)
+        if evaluated_at == len(selected):
+            # Gain is fresh for the current set: greedy-optimal, take it.
+            selected.append(j)
+            current_best = np.maximum(current_best, similarity[:, j])
+        else:
+            gain = float(np.maximum(similarity[:, j] - current_best, 0.0).sum())
+            heapq.heappush(heap, (-gain, j, len(selected)))
+    return np.asarray(selected, dtype=np.int64)
+
+
+def stochastic_greedy(
+    similarity: np.ndarray,
+    k: int,
+    epsilon: float = 0.1,
+    rng: np.random.Generator | None = None,
+) -> np.ndarray:
+    """Stochastic ("lazier than lazy") greedy facility-location maximization.
+
+    Each of the k steps draws ``ceil(n/k * ln(1/epsilon))`` random unselected
+    candidates and takes the best marginal gain among them.
+    """
+    n = _check(similarity, k)
+    if k >= n:
+        return np.arange(n, dtype=np.int64)
+    if not 0.0 < epsilon < 1.0:
+        raise ValueError("epsilon must be in (0, 1)")
+    rng = rng or np.random.default_rng(0)
+
+    sample_size = int(np.ceil(n / k * np.log(1.0 / epsilon)))
+    sample_size = max(1, min(sample_size, n))
+
+    current_best = np.zeros(n, dtype=np.float64)
+    unselected = np.ones(n, dtype=bool)
+    selected: list[int] = []
+    for _ in range(k):
+        pool = np.flatnonzero(unselected)
+        if len(pool) == 0:
+            break
+        cand = rng.choice(pool, size=min(sample_size, len(pool)), replace=False)
+        # Marginal gains of all candidates at once.
+        gains = np.maximum(similarity[:, cand] - current_best[:, None], 0.0).sum(axis=0)
+        j = int(cand[np.argmax(gains)])
+        selected.append(j)
+        unselected[j] = False
+        current_best = np.maximum(current_best, similarity[:, j])
+    return np.asarray(selected, dtype=np.int64)
+
+
+def medoid_weights(similarity: np.ndarray, selected: np.ndarray) -> np.ndarray:
+    """CRAIG per-medoid weights: the size of each medoid's cluster.
+
+    Every point is assigned to its most-similar selected medoid; the weight
+    of medoid j is the number of points assigned to it.  Training on the
+    weighted subset then approximates the full-gradient sum (paper Eq. 3).
+    """
+    selected = np.asarray(selected, dtype=np.int64)
+    if selected.size == 0:
+        return np.zeros(0, dtype=np.float64)
+    assignment = np.argmax(similarity[:, selected], axis=1)
+    counts = np.bincount(assignment, minlength=len(selected))
+    return counts.astype(np.float64)
+
+
+def _check(similarity: np.ndarray, k: int) -> int:
+    if similarity.ndim != 2 or similarity.shape[0] != similarity.shape[1]:
+        raise ValueError("similarity must be a square matrix")
+    if k < 1:
+        raise ValueError("k must be >= 1")
+    if (similarity < 0).any():
+        raise ValueError("similarities must be non-negative (use similarity_from_distances)")
+    return similarity.shape[0]

@@ -1,0 +1,123 @@
+"""Gradient proxies: the feature space the selectors cluster in.
+
+The full per-sample gradient is far too large to compare pairwise.  CRAIG's
+key observation (inherited by NeSSA) is that for a softmax + cross-entropy
+head, the gradient w.r.t. the *last layer's* input upper-bounds the
+variation of the full gradient, and that gradient is ``softmax(z) -
+onehot(y)`` — computable from a forward pass alone.  NeSSA runs exactly
+this forward pass on the FPGA with the quantized feedback model.
+
+``mode``:
+
+- ``"logits"`` (default, what CRAIG uses) — the (num_classes,)-dim
+  last-layer gradient.
+- ``"logits_x_feature_norm"`` — the same vector scaled by the penultimate
+  embedding norm, which tracks ``||outer(g, h)||`` (the true last-layer
+  weight-gradient norm) without materializing the outer product.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.nn.loss import CrossEntropyLoss
+
+__all__ = ["GradientProxy", "compute_gradient_proxies"]
+
+
+@dataclass
+class GradientProxy:
+    """Per-sample selection features for one candidate pool.
+
+    Attributes
+    ----------
+    vectors : ``(N, D)`` proxy vectors (the space medoids are found in).
+    losses : ``(N,)`` per-sample cross-entropy (subset-biasing input).
+    ids : ``(N,)`` global sample ids aligned with rows.
+    flops : forward-pass FLOP estimate for the computation, used by the
+        FPGA timing model.
+    """
+
+    vectors: np.ndarray
+    losses: np.ndarray
+    ids: np.ndarray
+    flops: float = 0.0
+
+    def __post_init__(self):
+        if self.vectors.shape[0] != self.losses.shape[0] != self.ids.shape[0]:
+            raise ValueError("vectors, losses and ids must align")
+
+
+def compute_gradient_proxies(
+    model,
+    x: np.ndarray,
+    y: np.ndarray,
+    ids: np.ndarray | None = None,
+    batch_size: int = 256,
+    mode: str = "logits",
+) -> GradientProxy:
+    """Run the selection model forward and derive per-sample proxies.
+
+    ``model`` is any callable with torch-like ``__call__`` (logits) and,
+    for the feature-norm mode, a ``features`` method — in practice either
+    the live target model or its :class:`~repro.nn.quantize.QuantizedModel`
+    snapshot.  Runs in eval mode semantics (no caching, no BN updates).
+    """
+    if mode not in ("logits", "logits_x_feature_norm"):
+        raise ValueError(f"unknown proxy mode: {mode!r}")
+    n = x.shape[0]
+    if ids is None:
+        ids = np.arange(n, dtype=np.int64)
+
+    inner = getattr(model, "model", model)
+    was_training = getattr(inner, "training", False)
+    if hasattr(inner, "eval"):
+        inner.eval()
+    try:
+        vec_chunks, loss_chunks = [], []
+        for start in range(0, n, batch_size):
+            xb = x[start : start + batch_size]
+            yb = y[start : start + batch_size]
+            if mode == "logits_x_feature_norm":
+                feats = model.features(xb)
+                logits = _head(model)(feats)
+                scale = np.linalg.norm(feats, axis=1, keepdims=True)
+            else:
+                logits = model(xb)
+                scale = None
+            grads = CrossEntropyLoss.last_layer_gradients(logits, yb)
+            if scale is not None:
+                grads = grads * scale
+            vec_chunks.append(grads)
+            loss_chunks.append(CrossEntropyLoss.per_sample_losses(logits, yb))
+    finally:
+        if was_training and hasattr(inner, "train"):
+            inner.train()
+
+    vectors = np.concatenate(vec_chunks).astype(np.float64)
+    losses = np.concatenate(loss_chunks).astype(np.float64)
+    flops = _forward_flops(inner, x.shape) * n
+    return GradientProxy(vectors=vectors, losses=losses, ids=np.asarray(ids), flops=flops)
+
+
+def _head(model):
+    """The classification head of a ResNet-like model."""
+    inner = getattr(model, "model", model)
+    fc = getattr(inner, "fc", None)
+    if fc is None:
+        raise AttributeError("feature-norm proxy mode needs a model with a .fc head")
+    return fc
+
+
+def _forward_flops(model, x_shape: tuple) -> float:
+    """Per-sample forward FLOPs; delegated to repro.perf when available."""
+    try:
+        from repro.perf.flops import model_forward_flops
+
+        return model_forward_flops(model, x_shape[1:])
+    except Exception:
+        # perf model unavailable for exotic models: charge 2 FLOPs/param.
+        num_params = getattr(model, "num_parameters", lambda: 0)()
+        return 2.0 * num_params

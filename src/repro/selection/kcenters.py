@@ -1,0 +1,92 @@
+"""Greedy k-centers baseline (Sener & Savarese, "Core-Set" — paper ref [17]).
+
+Selects points minimizing the maximum distance from any point to its
+nearest selected center (2-approximation via farthest-point traversal).
+The paper contrasts this with NeSSA/CRAIG: k-centers minimizes the *cover
+radius* rather than the total dissimilarity, which over-weights outliers —
+the reason its Table 3 accuracy collapses at small subset sizes (65.72% at
+10% vs NeSSA's 87+%).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.data.dataset import Dataset, Subset
+from repro.selection.craig import SelectionResult
+from repro.selection.gradients import compute_gradient_proxies
+
+__all__ = ["k_centers", "KCentersSelector"]
+
+
+def k_centers(
+    vectors: np.ndarray, k: int, rng: np.random.Generator | None = None
+) -> np.ndarray:
+    """Greedy farthest-point k-centers over row vectors.
+
+    Starts from a random point, then repeatedly adds the point farthest
+    from the current center set.  O(nk) distance evaluations, no pairwise
+    matrix materialized.
+    """
+    n = vectors.shape[0]
+    if k < 1:
+        raise ValueError("k must be >= 1")
+    if k >= n:
+        return np.arange(n, dtype=np.int64)
+    rng = rng or np.random.default_rng(0)
+
+    first = int(rng.integers(0, n))
+    selected = [first]
+    min_dist = np.linalg.norm(vectors - vectors[first], axis=1)
+    for _ in range(k - 1):
+        nxt = int(np.argmax(min_dist))
+        selected.append(nxt)
+        dist = np.linalg.norm(vectors - vectors[nxt], axis=1)
+        min_dist = np.minimum(min_dist, dist)
+    return np.asarray(selected, dtype=np.int64)
+
+
+class KCentersSelector:
+    """Dataset-level greedy k-centers over gradient proxies.
+
+    Unweighted (every selected sample counts once), matching the original
+    active-learning formulation.
+    """
+
+    name = "kcenters"
+
+    def __init__(self, seed: int = 0):
+        self.rng = np.random.default_rng(seed)
+
+    def select(
+        self,
+        dataset: Dataset,
+        fraction: float,
+        model,
+        candidates: np.ndarray | None = None,
+    ) -> SelectionResult:
+        if not 0.0 < fraction <= 1.0:
+            raise ValueError("fraction must be in (0, 1]")
+        if candidates is None:
+            candidates = np.arange(len(dataset), dtype=np.int64)
+        candidates = np.asarray(candidates, dtype=np.int64)
+
+        proxy = compute_gradient_proxies(
+            model,
+            dataset.x[candidates],
+            dataset.y[candidates],
+            ids=dataset.ids[candidates],
+        )
+        k = max(1, int(round(fraction * len(candidates))))
+        sel = k_centers(proxy.vectors, k, rng=self.rng)
+        positions = candidates[sel]
+        return SelectionResult(
+            positions=positions,
+            weights=np.ones(len(positions), dtype=np.float64),
+            pairwise_bytes=len(candidates) * 8,  # only the min-distance vector
+            proxy_flops=proxy.flops,
+        )
+
+    def subset(self, dataset: Dataset, fraction: float, model) -> Subset:
+        result = self.select(dataset, fraction, model)
+        return Subset(dataset, result.positions, weights=None)

@@ -1,0 +1,94 @@
+"""FPGA on-board DRAM model: the embedding cache and staging buffers.
+
+The SmartSSD's FPGA carries 4 GB of DDR (paper §2.2).  NeSSA's kernel
+uses it for (a) the candidate embedding cache that per-epoch scoring
+streams from, (b) the double-buffered chunk staging area, and (c) the
+dequantized weight replica.  :class:`EmbeddingCache` budgets all three
+and answers the planning questions: does a dataset's pool fit, and at
+what embedding precision; how many bytes does one refresh rewrite.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.smartssd.fpga import FPGASpec, KU15P
+
+__all__ = ["EmbeddingCache", "CachePlan"]
+
+
+@dataclass(frozen=True)
+class CachePlan:
+    """A validated placement of the selection working set in DRAM."""
+
+    num_samples: int
+    embedding_dim: int
+    embedding_bytes_per_value: int
+    staging_bytes: float
+    replica_bytes: float
+
+    @property
+    def embedding_bytes(self) -> float:
+        return float(self.num_samples) * self.embedding_dim * self.embedding_bytes_per_value
+
+    @property
+    def total_bytes(self) -> float:
+        return self.embedding_bytes + self.staging_bytes + self.replica_bytes
+
+    def refresh_write_bytes(self, pool_fraction: float = 1.0) -> float:
+        """Bytes one embedding refresh rewrites (the §3.2.2-shrunk pool)."""
+        if not 0.0 < pool_fraction <= 1.0:
+            raise ValueError("pool_fraction must be in (0, 1]")
+        return self.embedding_bytes * pool_fraction
+
+
+class EmbeddingCache:
+    """Budget the selection working set against the FPGA's DRAM."""
+
+    def __init__(self, fpga: FPGASpec | None = None, reserved_fraction: float = 0.1):
+        if not 0.0 <= reserved_fraction < 1.0:
+            raise ValueError("reserved_fraction must be in [0, 1)")
+        self.fpga = fpga or KU15P()
+        self.usable_bytes = self.fpga.dram_bytes * (1.0 - reserved_fraction)
+
+    def plan(
+        self,
+        num_samples: int,
+        embedding_dim: int,
+        embedding_bytes_per_value: int = 1,  # int8 embeddings
+        staging_bytes: float = 64e6,  # ping-pong chunk buffers
+        replica_bytes: float = 0.0,  # dequantized weights
+    ) -> CachePlan:
+        """Validate a placement; raises if it cannot fit."""
+        if num_samples < 1 or embedding_dim < 1:
+            raise ValueError("invalid cache geometry")
+        if embedding_bytes_per_value not in (1, 2, 4):
+            raise ValueError("embeddings are int8, fp16 or fp32 (1/2/4 bytes)")
+        plan = CachePlan(
+            num_samples=num_samples,
+            embedding_dim=embedding_dim,
+            embedding_bytes_per_value=embedding_bytes_per_value,
+            staging_bytes=staging_bytes,
+            replica_bytes=replica_bytes,
+        )
+        if plan.total_bytes > self.usable_bytes:
+            raise ValueError(
+                f"selection working set ({plan.total_bytes / 1e9:.2f} GB) exceeds "
+                f"usable FPGA DRAM ({self.usable_bytes / 1e9:.2f} GB) — "
+                f"shrink the pool, the embedding width, or the precision"
+            )
+        return plan
+
+    def max_pool_size(
+        self,
+        embedding_dim: int,
+        embedding_bytes_per_value: int = 1,
+        staging_bytes: float = 64e6,
+        replica_bytes: float = 0.0,
+    ) -> int:
+        """Largest candidate pool the cache supports at this geometry."""
+        per_sample = embedding_dim * embedding_bytes_per_value
+        available = self.usable_bytes - staging_bytes - replica_bytes
+        if available <= 0:
+            return 0
+        return int(available // per_sample)

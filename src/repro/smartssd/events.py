@@ -1,0 +1,74 @@
+"""A minimal discrete-event simulation engine.
+
+The device model composes sequential/parallel activities (NAND reads, link
+transfers, kernel compute).  Most paper quantities are closed-form, but
+the engine lets the device overlap pipelined stages (e.g. P2P transfer of
+chunk i+1 while the kernel processes chunk i, which is how the Figure 6
+effective throughput is realized by the real device).
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from typing import Callable
+
+__all__ = ["EventSimulator"]
+
+
+class EventSimulator:
+    """Priority-queue discrete-event loop with deterministic tie-breaking."""
+
+    def __init__(self):
+        self._queue: list = []
+        self._counter = itertools.count()
+        self.now = 0.0
+        self._processed = 0
+
+    def schedule(self, delay: float, callback: Callable[[], None]) -> None:
+        """Run ``callback`` at ``now + delay`` (delay may be 0, never negative)."""
+        if delay < 0:
+            raise ValueError("cannot schedule in the past")
+        heapq.heappush(self._queue, (self.now + delay, next(self._counter), callback))
+
+    def run(self, until: float | None = None) -> float:
+        """Process events in time order; returns the final clock.
+
+        With ``until`` set, stops (without processing) at the first event
+        past the horizon and leaves it queued.
+        """
+        while self._queue:
+            time, _, callback = self._queue[0]
+            if until is not None and time > until:
+                self.now = until
+                break
+            heapq.heappop(self._queue)
+            self.now = time
+            callback()
+            self._processed += 1
+        return self.now
+
+    @property
+    def pending(self) -> int:
+        return len(self._queue)
+
+    @property
+    def processed(self) -> int:
+        return self._processed
+
+
+class _Activity:
+    """Helper used by the device: tracks the finish time of a serial resource."""
+
+    def __init__(self):
+        self.busy_until = 0.0
+
+    def occupy(self, start: float, duration: float) -> tuple[float, float]:
+        """Claim the resource at the earliest feasible time.
+
+        Returns ``(actual_start, finish)``; the resource serializes
+        overlapping requests.
+        """
+        actual = max(start, self.busy_until)
+        self.busy_until = actual + duration
+        return actual, self.busy_until

@@ -1,0 +1,76 @@
+"""NAND flash array model for the SmartSSD's 3.84 TB drive.
+
+Read bandwidth out of the flash array is what the P2P link ultimately
+drains; the paper's "storage read/write bandwidths have improved to
+3 GBps" (Section 2.2) sets the internal ceiling.  The model tracks page
+granularity so small random reads pay a per-page cost, and capacity so a
+dataset that does not fit raises instead of silently succeeding.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+__all__ = ["NANDFlash"]
+
+TB = 1e12
+
+
+@dataclass
+class NANDFlash:
+    """Flash array: capacity, page geometry, channel parallelism."""
+
+    capacity_bytes: float = 3.84 * TB
+    page_bytes: int = 16 * 1024
+    channels: int = 8
+    page_read_latency_s: float = 60e-6  # per-channel page sense+transfer
+    internal_bandwidth: float = 3.0e9  # array-level streaming ceiling, B/s
+    used_bytes: float = field(default=0.0, init=False)
+
+    def __post_init__(self):
+        if self.capacity_bytes <= 0 or self.page_bytes <= 0 or self.channels < 1:
+            raise ValueError("invalid NAND geometry")
+
+    def store(self, nbytes: float) -> None:
+        """Account a dataset written to the drive."""
+        if nbytes < 0:
+            raise ValueError("nbytes cannot be negative")
+        if self.used_bytes + nbytes > self.capacity_bytes:
+            raise ValueError(
+                f"dataset of {nbytes / 1e9:.1f} GB exceeds remaining capacity "
+                f"({(self.capacity_bytes - self.used_bytes) / 1e9:.1f} GB)"
+            )
+        self.used_bytes += nbytes
+
+    def free(self, nbytes: float) -> None:
+        if nbytes < 0 or nbytes > self.used_bytes:
+            raise ValueError("invalid free amount")
+        self.used_bytes -= nbytes
+
+    def read_time(self, nbytes: float, sequential: bool = True, fragments: int = 1) -> float:
+        """Seconds to read ``nbytes`` out of the array.
+
+        Sequential streams hit the array bandwidth ceiling; random reads
+        are page-latency bound across channels.  ``fragments`` counts the
+        discontiguous pieces a scatter-gather request touches — each
+        fragment costs at least one page read even when it is smaller
+        than a page (a 3 KB image still senses a full 16 KB page).
+        """
+        if nbytes < 0:
+            raise ValueError("nbytes cannot be negative")
+        if fragments < 1:
+            raise ValueError("fragments must be >= 1")
+        if nbytes == 0:
+            return 0.0
+        pages = max(fragments, int(-(-nbytes // self.page_bytes)))
+        latency_bound = pages * self.page_read_latency_s / self.channels
+        bandwidth_bound = nbytes / self.internal_bandwidth
+        if sequential:
+            return max(bandwidth_bound, self.page_read_latency_s)
+        # A single page read cannot be split across channels, so random
+        # reads never beat one page latency.
+        return max(latency_bound, bandwidth_bound, self.page_read_latency_s)
+
+    @property
+    def utilization(self) -> float:
+        return self.used_bytes / self.capacity_bytes

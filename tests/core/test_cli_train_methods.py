@@ -1,0 +1,33 @@
+"""CLI ``train`` smoke tests for the selection methods (tiny scale)."""
+
+import pytest
+
+from repro.cli import main
+
+
+@pytest.mark.parametrize("method", ["nessa", "craig", "full"])
+def test_cli_train_method(method, capsys):
+    code = main([
+        "train", "--dataset", "cifar10", "--method", method,
+        "--fraction", "0.3", "--epochs", "2", "--scale", "0.12", "--lr", "0.05",
+    ])
+    assert code == 0
+    out = capsys.readouterr().out
+    assert f"{method} on cifar10" in out
+    assert "samples trained" in out
+
+
+def test_cli_train_saves_history(tmp_path, capsys):
+    path = tmp_path / "hist.json"
+    code = main([
+        "train", "--dataset", "svhn", "--method", "random",
+        "--fraction", "0.3", "--epochs", "2", "--scale", "0.12",
+        "--save-history", str(path),
+    ])
+    assert code == 0
+    assert path.exists()
+
+    from repro.nn.serialize import load_history
+
+    history = load_history(path)
+    assert history.epochs == 2

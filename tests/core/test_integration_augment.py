@@ -1,0 +1,100 @@
+"""Integration: training with augmentation, checkpoint resume, and the
+selection/training asymmetry (selector scores canonical images while the
+GPU trains augmented views)."""
+
+import numpy as np
+import pytest
+
+from repro.core.config import NeSSAConfig, TrainRecipe
+from repro.core.metrics import evaluate_accuracy
+from repro.core.trainer import FullTrainer, NeSSATrainer
+from repro.data.augment import Compose, GaussianNoise, RandomCrop, RandomHorizontalFlip
+from repro.data.loader import DataLoader
+from repro.data.synthetic import SyntheticConfig, make_train_test
+from repro.nn.loss import CrossEntropyLoss
+from repro.nn.optim import SGD
+from repro.nn.resnet import resnet20
+from repro.nn.serialize import load_model, save_model
+
+
+@pytest.fixture(scope="module")
+def data():
+    cfg = SyntheticConfig(num_classes=4, num_samples=320, image_shape=(3, 8, 8), seed=31)
+    return make_train_test(cfg)
+
+
+def recipe(epochs=4):
+    base = TrainRecipe().scaled(epochs) if epochs > 3 else TrainRecipe(
+        epochs=epochs, lr_milestones=()
+    )
+    return TrainRecipe(
+        epochs=epochs,
+        batch_size=48,
+        lr=0.05,
+        lr_milestones=tuple(m for m in (base.lr_milestones or ()) if m < epochs),
+        clip_grad_norm=5.0,
+    )
+
+
+def factory():
+    return resnet20(num_classes=4, width=4, seed=17)
+
+
+class TestAugmentedTraining:
+    def test_training_through_augmented_loader_learns(self, data):
+        train, test = data
+        model = factory().train()
+        crit = CrossEntropyLoss()
+        opt = SGD(model.parameters(), lr=0.05, clip_grad_norm=5.0)
+        aug = Compose(
+            [RandomCrop(1), RandomHorizontalFlip(0.5), GaussianNoise(0.02)], seed=3
+        )
+        loader = DataLoader(train, batch_size=48, shuffle=True, seed=0, transform=aug)
+        for _ in range(6):
+            for batch in loader:
+                loss = crit(model(batch.x), batch.y, weights=batch.weights)
+                opt.zero_grad()
+                model.backward(crit.backward())
+                opt.step()
+        assert evaluate_accuracy(model, test) > 0.5
+
+    def test_augmentation_changes_batches_but_not_dataset(self, data):
+        train, _ = data
+        original = train.x.copy()
+        aug = Compose([GaussianNoise(0.3)], seed=1)
+        loader = DataLoader(train, batch_size=32, shuffle=False, transform=aug)
+        batch = next(iter(loader))
+        assert not np.array_equal(batch.x, train.x[:32])
+        assert np.array_equal(train.x, original)  # source untouched
+
+
+class TestCheckpointResume:
+    def test_training_resumes_from_checkpoint(self, data, tmp_path):
+        train, test = data
+        trainer = FullTrainer(factory(), recipe(3), seed=0)
+        trainer.train(train, test)
+        acc_before = evaluate_accuracy(trainer.model, test)
+        save_model(trainer.model, tmp_path / "ckpt.npz")
+
+        resumed = factory()
+        load_model(resumed, tmp_path / "ckpt.npz")
+        assert evaluate_accuracy(resumed, test) == pytest.approx(acc_before)
+
+        # Continue training the restored model — it should not regress.
+        cont = FullTrainer(resumed, recipe(3), seed=1)
+        history = cont.train(train, test)
+        assert history.final_accuracy >= acc_before - 0.1
+
+
+class TestSelectionTrainingAsymmetry:
+    def test_selector_sees_canonical_images(self, data):
+        """NeSSA's selector scores the stored images; augmentation lives
+        only in the training loader.  The selection result must therefore
+        be independent of any augmentation configuration."""
+        train, test = data
+        config = NeSSAConfig(subset_fraction=0.3, seed=0)
+        t1 = NeSSATrainer(factory(), recipe(2), config, factory)
+        t2 = NeSSATrainer(factory(), recipe(2), config, factory)
+        r1 = t1.selector.select(train, 0.3, t1.feedback.selection_model)
+        r2 = t2.selector.select(train, 0.3, t2.feedback.selection_model)
+        assert np.array_equal(r1.positions, r2.positions)

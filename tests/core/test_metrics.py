@@ -1,0 +1,98 @@
+"""Tests for training telemetry."""
+
+import numpy as np
+import pytest
+
+from repro.core.metrics import EpochRecord, TrainingHistory, evaluate_accuracy
+from repro.data.dataset import Dataset
+from repro.nn.resnet import resnet20
+
+
+def record(epoch, acc, loss=1.0, subset=100, fraction=0.5):
+    return EpochRecord(
+        epoch=epoch,
+        train_loss=loss,
+        test_accuracy=acc,
+        subset_size=subset,
+        subset_fraction=fraction,
+        samples_trained=subset,
+    )
+
+
+class TestTrainingHistory:
+    def test_final_and_best(self):
+        h = TrainingHistory(method="x")
+        for e, acc in enumerate([0.2, 0.8, 0.6]):
+            h.append(record(e, acc))
+        assert h.final_accuracy == pytest.approx(0.6)
+        assert h.best_accuracy == pytest.approx(0.8)
+
+    def test_curves(self):
+        h = TrainingHistory()
+        for e in range(3):
+            h.append(record(e, 0.1 * e, loss=3.0 - e))
+        assert np.allclose(h.accuracy_curve(), [0.0, 0.1, 0.2])
+        assert np.allclose(h.loss_curve(), [3.0, 2.0, 1.0])
+
+    def test_accuracy_at_clamps(self):
+        h = TrainingHistory()
+        h.append(record(0, 0.5))
+        assert h.accuracy_at(100) == pytest.approx(0.5)
+
+    def test_epochs_to_accuracy(self):
+        h = TrainingHistory()
+        for e, acc in enumerate([0.2, 0.5, 0.9]):
+            h.append(record(e, acc))
+        assert h.epochs_to_accuracy(0.5) == 1
+        assert h.epochs_to_accuracy(0.95) is None
+
+    def test_total_samples_and_mean_fraction(self):
+        h = TrainingHistory()
+        h.append(record(0, 0.1, subset=100, fraction=0.5))
+        h.append(record(1, 0.2, subset=50, fraction=0.25))
+        assert h.total_samples_trained == 150
+        assert h.mean_subset_fraction == pytest.approx(0.375)
+
+    def test_empty_history_raises(self):
+        h = TrainingHistory()
+        with pytest.raises(ValueError):
+            _ = h.final_accuracy
+
+    def test_to_dict_serializable(self):
+        import json
+
+        h = TrainingHistory(method="nessa")
+        h.append(record(0, 0.5))
+        dumped = json.dumps(h.to_dict())
+        assert "nessa" in dumped
+
+
+class TestEvaluateAccuracy:
+    def test_matches_manual_computation(self):
+        rng = np.random.default_rng(0)
+        net = resnet20(num_classes=3, width=4, seed=0)
+        x = rng.normal(size=(20, 3, 8, 8)).astype(np.float32)
+        y = rng.integers(0, 3, size=20)
+        ds = Dataset(x, y)
+        net.eval()
+        manual = float((net(x).argmax(axis=1) == y).mean())
+        assert evaluate_accuracy(net, ds) == pytest.approx(manual)
+
+    def test_batching_invariant(self):
+        rng = np.random.default_rng(1)
+        net = resnet20(num_classes=3, width=4, seed=1)
+        ds = Dataset(
+            rng.normal(size=(30, 3, 8, 8)).astype(np.float32), rng.integers(0, 3, size=30)
+        )
+        assert evaluate_accuracy(net, ds, batch_size=7) == pytest.approx(
+            evaluate_accuracy(net, ds, batch_size=1000)
+        )
+
+    def test_restores_training_mode(self):
+        rng = np.random.default_rng(2)
+        net = resnet20(num_classes=3, width=4, seed=2).train()
+        ds = Dataset(
+            rng.normal(size=(8, 3, 8, 8)).astype(np.float32), rng.integers(0, 3, size=8)
+        )
+        evaluate_accuracy(net, ds)
+        assert net.training

@@ -1,0 +1,73 @@
+"""Additional dynamic-schedule and history coverage."""
+
+import numpy as np
+import pytest
+
+from repro.core.metrics import EpochRecord, TrainingHistory
+from repro.core.schedule import SubsetSizeSchedule
+
+
+class TestScheduleDynamics:
+    def test_realistic_loss_trajectory(self):
+        """A plateauing exponential decay triggers shrinks late, not early."""
+        schedule = SubsetSizeSchedule(0.4, min_fraction=0.1, threshold=0.02,
+                                      shrink=0.9, patience=2)
+        losses = 2.0 * np.exp(-0.3 * np.arange(30)) + 0.5
+        fractions = [schedule.update(float(l)) for l in losses]
+        # Early epochs (fast decay) keep the full fraction...
+        assert fractions[3] == pytest.approx(0.4)
+        # ...late plateau epochs shrink it.
+        assert fractions[-1] < 0.4
+        assert schedule.shrink_events
+        assert min(schedule.shrink_events) > 5
+
+    def test_oscillating_loss_never_shrinks(self):
+        schedule = SubsetSizeSchedule(0.3, threshold=0.02, patience=3)
+        for epoch in range(20):
+            loss = 1.0 if epoch % 2 == 0 else 0.5  # 50% improvements half the time
+            schedule.update(loss)
+        assert schedule.fraction == pytest.approx(0.3)
+
+    def test_increasing_loss_counts_as_stall(self):
+        schedule = SubsetSizeSchedule(0.3, threshold=0.02, patience=2, shrink=0.8)
+        for loss in (1.0, 1.1, 1.2, 1.3):
+            schedule.update(loss)
+        assert schedule.fraction < 0.3
+
+    def test_shrink_events_record_epochs(self):
+        schedule = SubsetSizeSchedule(0.3, threshold=0.5, patience=1, shrink=0.5,
+                                      min_fraction=0.05)
+        for loss in (1.0, 0.99, 0.98):
+            schedule.update(loss)
+        assert schedule.shrink_events == [1, 2]
+
+
+class TestHistoryStableAccuracy:
+    def _history(self, accs):
+        h = TrainingHistory(method="x")
+        for e, a in enumerate(accs):
+            h.append(EpochRecord(e, 1.0, a, 10, 0.5, 10))
+        return h
+
+    def test_stable_is_tail_mean(self):
+        h = self._history([0.1, 0.2, 0.8, 0.9, 1.0])
+        assert h.stable_accuracy(window=3) == pytest.approx(0.9)
+
+    def test_window_longer_than_run(self):
+        h = self._history([0.4, 0.6])
+        assert h.stable_accuracy(window=10) == pytest.approx(0.5)
+
+    def test_empty_raises(self):
+        with pytest.raises(ValueError):
+            TrainingHistory().stable_accuracy()
+
+    def test_stable_less_noisy_than_final(self):
+        rng = np.random.default_rng(0)
+        finals, stables = [], []
+        for seed in range(20):
+            noise = rng.normal(0, 0.05, size=10)
+            accs = np.clip(0.8 + noise, 0, 1)
+            h = self._history(accs.tolist())
+            finals.append(h.final_accuracy)
+            stables.append(h.stable_accuracy())
+        assert np.std(stables) < np.std(finals)

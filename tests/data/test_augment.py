@@ -1,0 +1,110 @@
+"""Tests for data augmentation."""
+
+import numpy as np
+import pytest
+
+from repro.data.augment import Compose, GaussianNoise, RandomCrop, RandomHorizontalFlip
+from repro.data.dataset import Dataset
+from repro.data.loader import DataLoader
+
+
+def batch(n=8, c=3, h=8, w=8, seed=0):
+    return np.random.default_rng(seed).normal(size=(n, c, h, w)).astype(np.float32)
+
+
+class TestRandomCrop:
+    def test_preserves_shape(self):
+        x = batch()
+        out = RandomCrop(2)(x, np.random.default_rng(0))
+        assert out.shape == x.shape
+
+    def test_zero_padding_is_identity(self):
+        x = batch()
+        assert np.array_equal(RandomCrop(0)(x, np.random.default_rng(0)), x)
+
+    def test_content_is_a_shifted_window(self):
+        """With padding p, each output is a (2p+1)^2 window of the padded input."""
+        x = batch(n=1)
+        p = 1
+        padded = np.pad(x, ((0, 0), (0, 0), (p, p), (p, p)), mode="reflect")
+        out = RandomCrop(p)(x, np.random.default_rng(3))
+        found = any(
+            np.array_equal(out[0], padded[0, :, oy : oy + 8, ox : ox + 8])
+            for oy in range(2 * p + 1)
+            for ox in range(2 * p + 1)
+        )
+        assert found
+
+    def test_rejects_negative_padding(self):
+        with pytest.raises(ValueError):
+            RandomCrop(-1)
+
+
+class TestRandomFlip:
+    def test_p1_flips_everything(self):
+        x = batch()
+        out = RandomHorizontalFlip(1.0)(x, np.random.default_rng(0))
+        assert np.array_equal(out, x[:, :, :, ::-1])
+
+    def test_p0_is_identity(self):
+        x = batch()
+        out = RandomHorizontalFlip(0.0)(x, np.random.default_rng(0))
+        assert np.array_equal(out, x)
+
+    def test_probability_validated(self):
+        with pytest.raises(ValueError):
+            RandomHorizontalFlip(1.5)
+
+    def test_does_not_mutate_input(self):
+        x = batch()
+        original = x.copy()
+        RandomHorizontalFlip(1.0)(x, np.random.default_rng(0))
+        assert np.array_equal(x, original)
+
+
+class TestGaussianNoise:
+    def test_noise_magnitude(self):
+        x = np.zeros((4, 3, 8, 8), dtype=np.float32)
+        out = GaussianNoise(0.1)(x, np.random.default_rng(0))
+        assert 0.05 < out.std() < 0.2
+
+    def test_zero_std_identity(self):
+        x = batch()
+        assert np.array_equal(GaussianNoise(0.0)(x, np.random.default_rng(0)), x)
+
+
+class TestCompose:
+    def test_applies_in_order_and_reseeds_per_call(self):
+        aug = Compose([RandomCrop(1), RandomHorizontalFlip(0.5)], seed=7)
+        x = batch()
+        a = aug(x)
+        b = aug(x)
+        assert a.shape == x.shape
+        assert not np.array_equal(a, b)  # different call -> different rng
+
+    def test_reproducible_across_instances(self):
+        x = batch()
+        a = Compose([RandomHorizontalFlip(0.5)], seed=7)(x)
+        b = Compose([RandomHorizontalFlip(0.5)], seed=7)(x)
+        assert np.array_equal(a, b)
+
+    def test_len(self):
+        assert len(Compose([RandomCrop(1), GaussianNoise(0.1)])) == 2
+
+
+class TestLoaderIntegration:
+    def test_transform_applied_to_batches(self):
+        ds = Dataset(batch(12), np.arange(12) % 3)
+        aug = Compose([GaussianNoise(0.5)], seed=1)
+        loader = DataLoader(ds, batch_size=4, shuffle=False, transform=aug)
+        for b in loader:
+            original = ds.x[b.ids]
+            assert not np.array_equal(b.x, original)
+            # labels/ids untouched
+            assert np.array_equal(b.y, ds.y[b.ids])
+
+    def test_no_transform_passthrough(self):
+        ds = Dataset(batch(6), np.arange(6) % 2)
+        loader = DataLoader(ds, batch_size=6, shuffle=False)
+        b = next(iter(loader))
+        assert np.array_equal(b.x, ds.x)

@@ -1,0 +1,119 @@
+"""Tests for the packed on-flash dataset format."""
+
+import numpy as np
+import pytest
+
+from repro.data.dataset import Dataset
+from repro.data.storage_format import load_dataset_bin, save_dataset_bin
+
+
+def make_dataset(n=24, classes=4, seed=0):
+    rng = np.random.default_rng(seed)
+    x = rng.normal(size=(n, 3, 4, 4)).astype(np.float32)
+    return Dataset(x, np.arange(n) % classes)
+
+
+class TestRoundTrip:
+    def test_whole_file_roundtrip(self, tmp_path):
+        ds = make_dataset()
+        layout = save_dataset_bin(ds, tmp_path / "d.bin", seed=1)
+        loaded = load_dataset_bin(layout.path)
+        # Records are permuted on disk; compare by id.
+        by_id = loaded.subset_by_ids(ds.ids)
+        assert np.allclose(by_id.x, ds.x)
+        assert np.array_equal(by_id.y, ds.y)
+
+    def test_scatter_gather_read(self, tmp_path):
+        ds = make_dataset()
+        layout = save_dataset_bin(ds, tmp_path / "d.bin", seed=1)
+        some = np.array([3, 7, 11])
+        loaded = load_dataset_bin(layout.path, record_indices=some)
+        assert len(loaded) == 3
+        assert np.array_equal(loaded.ids, layout.order[some])
+
+    def test_class_clustered_layout_groups_labels(self, tmp_path):
+        ds = make_dataset(classes=3)
+        layout = save_dataset_bin(ds, tmp_path / "d.bin", layout="class_clustered")
+        loaded = load_dataset_bin(layout.path)
+        labels = loaded.y
+        assert (np.diff(labels) >= 0).all()  # non-decreasing on disk
+
+    def test_shuffled_layout_differs_from_input_order(self, tmp_path):
+        ds = make_dataset(n=64)
+        layout = save_dataset_bin(ds, tmp_path / "d.bin", layout="shuffled", seed=3)
+        assert not np.array_equal(layout.order, ds.ids)
+
+    def test_record_geometry(self, tmp_path):
+        ds = make_dataset()
+        layout = save_dataset_bin(ds, tmp_path / "d.bin")
+        assert layout.record_bytes == 3 * 4 * 4 * 4 + 16
+        expected_size = layout.data_offset + len(ds) * layout.record_bytes
+        assert layout.path.stat().st_size == expected_size
+
+    def test_bad_magic_rejected(self, tmp_path):
+        path = tmp_path / "junk.bin"
+        path.write_bytes(b"JUNKJUNKJUNKJUNKJUNKJUNK")
+        with pytest.raises(ValueError, match="magic"):
+            load_dataset_bin(path)
+
+    def test_out_of_range_record_rejected(self, tmp_path):
+        ds = make_dataset()
+        layout = save_dataset_bin(ds, tmp_path / "d.bin")
+        with pytest.raises(IndexError):
+            load_dataset_bin(layout.path, record_indices=np.array([999]))
+
+    def test_unknown_layout_rejected(self, tmp_path):
+        with pytest.raises(ValueError):
+            save_dataset_bin(make_dataset(), tmp_path / "d.bin", layout="spiral")
+
+
+class TestLayoutIndex:
+    def test_offsets_monotone(self, tmp_path):
+        layout = save_dataset_bin(make_dataset(), tmp_path / "d.bin")
+        offsets = [layout.record_offset(i) for i in range(layout.num_records)]
+        assert offsets == sorted(offsets)
+        assert offsets[0] == layout.data_offset
+
+    def test_position_of_id_roundtrip(self, tmp_path):
+        ds = make_dataset()
+        layout = save_dataset_bin(ds, tmp_path / "d.bin", seed=2)
+        for sample_id in (0, 5, 23):
+            pos = layout.position_of_id(sample_id)
+            assert layout.order[pos] == sample_id
+        with pytest.raises(KeyError):
+            layout.position_of_id(999)
+
+    def test_gather_positions_vectorized(self, tmp_path):
+        ds = make_dataset()
+        layout = save_dataset_bin(ds, tmp_path / "d.bin", seed=2)
+        ids = np.array([1, 8, 15])
+        positions = layout.gather_positions(ids)
+        assert np.array_equal(layout.order[positions], ids)
+
+
+class TestLayoutAwareTraces:
+    def test_gather_trace_uses_real_offsets(self, tmp_path):
+        ds = make_dataset(n=64)
+        layout = save_dataset_bin(ds, tmp_path / "d.bin", seed=4)
+        trace = layout.gather_trace(ds.ids[:16], batch_images=8)
+        assert trace.total_bytes == 16 * layout.record_bytes
+        for request in trace:
+            assert request.offset >= layout.data_offset
+
+    def test_clustered_layout_makes_class_subsets_sequential(self, tmp_path):
+        """A per-class subset gathers contiguously on the clustered layout
+        but scatters on the shuffled one — the I/O win of reorganizing."""
+        from repro.smartssd.trace import replay
+
+        rng = np.random.default_rng(5)
+        x = rng.normal(size=(512, 3, 4, 4)).astype(np.float32)
+        ds = Dataset(x, np.arange(512) % 4)
+        class0_ids = ds.ids[ds.y == 0]
+
+        shuffled = save_dataset_bin(ds, tmp_path / "s.bin", layout="shuffled", seed=6)
+        clustered = save_dataset_bin(ds, tmp_path / "c.bin", layout="class_clustered")
+
+        t_shuffled = replay(shuffled.gather_trace(class0_ids))
+        t_clustered = replay(clustered.gather_trace(class0_ids))
+        assert t_clustered.total_time < t_shuffled.total_time
+        assert t_clustered.effective_throughput > t_shuffled.effective_throughput

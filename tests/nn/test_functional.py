@@ -1,0 +1,179 @@
+"""Unit tests for the low-level numpy kernels."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.nn import functional as F
+
+
+class TestIm2Col:
+    def test_roundtrip_shapes(self):
+        x = np.random.default_rng(0).normal(size=(2, 3, 8, 8)).astype(np.float32)
+        cols = F.im2col(x, kernel=3, stride=1, pad=1)
+        assert cols.shape == (2 * 8 * 8, 3 * 9)
+
+    def test_stride_reduces_output(self):
+        x = np.ones((1, 1, 8, 8), dtype=np.float32)
+        cols = F.im2col(x, kernel=2, stride=2)
+        assert cols.shape == (16, 4)
+
+    def test_identity_kernel_one(self):
+        x = np.random.default_rng(1).normal(size=(1, 2, 4, 4)).astype(np.float32)
+        cols = F.im2col(x, kernel=1)
+        assert np.allclose(cols.reshape(16, 2), x.transpose(0, 2, 3, 1).reshape(16, 2))
+
+    def test_col2im_is_adjoint_of_im2col(self):
+        """<im2col(x), y> == <x, col2im(y)> — the defining adjoint identity."""
+        rng = np.random.default_rng(2)
+        x = rng.normal(size=(2, 3, 6, 6)).astype(np.float64)
+        cols = F.im2col(x, kernel=3, stride=1, pad=1)
+        y = rng.normal(size=cols.shape)
+        lhs = float((cols * y).sum())
+        rhs = float((x * F.col2im(y, x.shape, 3, 1, 1)).sum())
+        assert lhs == pytest.approx(rhs, rel=1e-10)
+
+    @given(
+        kernel=st.integers(1, 3),
+        stride=st.integers(1, 2),
+        pad=st.integers(0, 1),
+        h=st.integers(4, 9),
+    )
+    @settings(max_examples=25, deadline=None)
+    def test_adjoint_property(self, kernel, stride, pad, h):
+        rng = np.random.default_rng(kernel * 100 + stride * 10 + pad + h)
+        x = rng.normal(size=(1, 2, h, h))
+        cols = F.im2col(x, kernel, stride, pad)
+        y = rng.normal(size=cols.shape)
+        lhs = float((cols * y).sum())
+        rhs = float((x * F.col2im(y, x.shape, kernel, stride, pad)).sum())
+        assert lhs == pytest.approx(rhs, rel=1e-9, abs=1e-9)
+
+
+class TestConv2d:
+    def test_matches_direct_convolution(self):
+        rng = np.random.default_rng(3)
+        x = rng.normal(size=(1, 2, 5, 5)).astype(np.float32)
+        w = rng.normal(size=(3, 2, 3, 3)).astype(np.float32)
+        out, _ = F.conv2d(x, w, stride=1, pad=1)
+        # Direct reference at one spatial position.
+        padded = np.pad(x, ((0, 0), (0, 0), (1, 1), (1, 1)))
+        ref = (padded[0, :, 2:5, 3:6] * w[1]).sum()
+        assert out[0, 1, 2, 3] == pytest.approx(ref, rel=1e-5)
+
+    def test_output_shape_strided(self):
+        x = np.zeros((2, 3, 8, 8), dtype=np.float32)
+        w = np.zeros((4, 3, 3, 3), dtype=np.float32)
+        out, _ = F.conv2d(x, w, stride=2, pad=1)
+        assert out.shape == (2, 4, 4, 4)
+
+    def test_bias_added_per_channel(self):
+        x = np.zeros((1, 1, 3, 3), dtype=np.float32)
+        w = np.zeros((2, 1, 1, 1), dtype=np.float32)
+        b = np.array([1.5, -2.0], dtype=np.float32)
+        out, _ = F.conv2d(x, w, bias=b)
+        assert np.allclose(out[0, 0], 1.5)
+        assert np.allclose(out[0, 1], -2.0)
+
+    def test_backward_gradcheck(self):
+        """Finite-difference check of conv2d_backward in float64."""
+        rng = np.random.default_rng(4)
+        x = rng.normal(size=(2, 2, 4, 4))
+        w = rng.normal(size=(3, 2, 3, 3))
+        out, cols = F.conv2d(x, w, stride=1, pad=1)
+        g = rng.normal(size=out.shape)
+        grad_x, grad_w, _ = F.conv2d_backward(g, cols, x.shape, w, 1, 1)
+
+        eps = 1e-6
+        idx = (1, 0, 2, 3)
+        x2 = x.copy()
+        x2[idx] += eps
+        out2, _ = F.conv2d(x2, w, stride=1, pad=1)
+        num = ((out2 - out) * g).sum() / eps
+        assert grad_x[idx] == pytest.approx(num, rel=1e-4)
+
+        widx = (2, 1, 0, 1)
+        w2 = w.copy()
+        w2[widx] += eps
+        out2, _ = F.conv2d(x, w2, stride=1, pad=1)
+        num = ((out2 - out) * g).sum() / eps
+        assert grad_w[widx] == pytest.approx(num, rel=1e-4)
+
+
+class TestPooling:
+    def test_max_pool_picks_maxima(self):
+        x = np.arange(16, dtype=np.float32).reshape(1, 1, 4, 4)
+        out, _ = F.max_pool2d(x, kernel=2)
+        assert np.allclose(out[0, 0], [[5, 7], [13, 15]])
+
+    def test_max_pool_backward_routes_to_argmax(self):
+        x = np.arange(16, dtype=np.float32).reshape(1, 1, 4, 4)
+        out, argmax = F.max_pool2d(x, kernel=2)
+        g = np.ones_like(out)
+        grad = F.max_pool2d_backward(g, argmax, x.shape, kernel=2)
+        expected = np.zeros((4, 4))
+        for r, c in [(1, 1), (1, 3), (3, 1), (3, 3)]:
+            expected[r, c] = 1.0
+        assert np.allclose(grad[0, 0], expected)
+
+    def test_avg_pool_averages(self):
+        x = np.arange(16, dtype=np.float32).reshape(1, 1, 4, 4)
+        out = F.avg_pool2d(x, kernel=2)
+        assert np.allclose(out[0, 0], [[2.5, 4.5], [10.5, 12.5]])
+
+    def test_avg_pool_backward_spreads_uniformly(self):
+        x = np.zeros((1, 1, 4, 4), dtype=np.float32)
+        g = np.ones((1, 1, 2, 2), dtype=np.float32)
+        grad = F.avg_pool2d_backward(g, x.shape, kernel=2)
+        assert np.allclose(grad, 0.25)
+
+    def test_multichannel_max_pool(self):
+        rng = np.random.default_rng(5)
+        x = rng.normal(size=(2, 3, 4, 4)).astype(np.float32)
+        out, _ = F.max_pool2d(x, kernel=2)
+        for n in range(2):
+            for c in range(3):
+                assert out[n, c, 0, 0] == x[n, c, :2, :2].max()
+
+
+class TestActivations:
+    def test_relu_clamps_negatives(self):
+        x = np.array([-1.0, 0.0, 2.0], dtype=np.float32)
+        assert np.allclose(F.relu(x), [0, 0, 2])
+
+    def test_relu_backward_masks(self):
+        x = np.array([-1.0, 0.5], dtype=np.float32)
+        g = np.array([3.0, 3.0], dtype=np.float32)
+        assert np.allclose(F.relu_backward(g, x), [0, 3])
+
+    def test_softmax_rows_sum_to_one(self):
+        rng = np.random.default_rng(6)
+        z = rng.normal(size=(5, 7)) * 10
+        p = F.softmax(z, axis=1)
+        assert np.allclose(p.sum(axis=1), 1.0)
+        assert (p >= 0).all()
+
+    def test_softmax_shift_invariant(self):
+        z = np.array([[1.0, 2.0, 3.0]])
+        assert np.allclose(F.softmax(z), F.softmax(z + 100.0))
+
+    def test_log_softmax_matches_log_of_softmax(self):
+        rng = np.random.default_rng(7)
+        z = rng.normal(size=(4, 6))
+        assert np.allclose(F.log_softmax(z), np.log(F.softmax(z)), atol=1e-7)
+
+    def test_softmax_extreme_logits_stable(self):
+        z = np.array([[1000.0, -1000.0, 0.0]])
+        p = F.softmax(z)
+        assert np.isfinite(p).all()
+        assert p[0, 0] == pytest.approx(1.0)
+
+    @given(st.integers(2, 8), st.integers(2, 12))
+    @settings(max_examples=20, deadline=None)
+    def test_softmax_property(self, n, k):
+        rng = np.random.default_rng(n * 31 + k)
+        z = rng.normal(size=(n, k)) * 5
+        p = F.softmax(z, axis=1)
+        assert np.allclose(p.sum(axis=1), 1.0, atol=1e-6)
+        assert (p.argmax(axis=1) == z.argmax(axis=1)).all()

@@ -1,0 +1,164 @@
+"""Tests for quantization and the feedback-model snapshot."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.nn.quantize import (
+    QuantizedModel,
+    dequantize_tensor,
+    quantize_tensor,
+    quantized_state_bytes,
+)
+from repro.nn.resnet import resnet20
+
+
+class TestQuantizeTensor:
+    def test_roundtrip_error_bounded_by_half_step(self):
+        rng = np.random.default_rng(0)
+        x = rng.normal(size=(64,)).astype(np.float32)
+        q, scale = quantize_tensor(x, bits=8)
+        err = np.abs(dequantize_tensor(q, scale) - x)
+        assert err.max() <= scale / 2 + 1e-7
+
+    def test_int8_range_respected(self):
+        x = np.linspace(-10, 10, 100).astype(np.float32)
+        q, _ = quantize_tensor(x, bits=8)
+        assert q.max() <= 127 and q.min() >= -127
+
+    def test_zero_tensor_safe(self):
+        q, scale = quantize_tensor(np.zeros(5, dtype=np.float32))
+        assert np.all(q == 0)
+        assert scale == 1.0
+
+    def test_32bit_is_identity(self):
+        x = np.array([0.1, -0.2, 0.3], dtype=np.float32)
+        q, scale = quantize_tensor(x, bits=32)
+        assert scale == 1.0
+        assert np.array_equal(q, x)
+
+    def test_more_bits_less_error(self):
+        rng = np.random.default_rng(1)
+        x = rng.normal(size=(256,)).astype(np.float32)
+        errors = []
+        for bits in (4, 8, 16):
+            q, s = quantize_tensor(x, bits=bits)
+            errors.append(np.abs(dequantize_tensor(q, s) - x).max())
+        assert errors[0] > errors[1] > errors[2]
+
+    def test_rejects_bad_bit_width(self):
+        with pytest.raises(ValueError):
+            quantize_tensor(np.zeros(2), bits=1)
+        with pytest.raises(ValueError):
+            quantize_tensor(np.zeros(2), bits=33)
+
+    @given(bits=st.sampled_from([4, 8, 16]), scale=st.floats(0.01, 100.0))
+    @settings(max_examples=25, deadline=None)
+    def test_symmetry_property(self, bits, scale):
+        """Quantizing -x gives -quantize(x) (symmetric scheme)."""
+        rng = np.random.default_rng(int(scale * 100) + bits)
+        x = (rng.normal(size=32) * scale).astype(np.float32)
+        q1, s1 = quantize_tensor(x, bits)
+        q2, s2 = quantize_tensor(-x, bits)
+        assert s1 == pytest.approx(s2)
+        assert np.array_equal(q1, -q2)
+
+
+class TestQuantizedModel:
+    def test_sync_copies_weights_with_quantization_error(self):
+        src = resnet20(num_classes=4, width=4, seed=1)
+        qm = QuantizedModel(resnet20(num_classes=4, width=4, seed=2), bits=8)
+        qm.sync_from(src)
+        src_w = dict(src.named_parameters())["fc.weight"].data
+        dst_w = dict(qm.model.named_parameters())["fc.weight"].data
+        assert not np.array_equal(src_w, dst_w)  # rounding happened
+        assert np.abs(src_w - dst_w).max() < np.abs(src_w).max() / 50  # but small
+
+    def test_fp32_sync_is_exact(self):
+        src = resnet20(num_classes=4, width=4, seed=1)
+        qm = QuantizedModel(resnet20(num_classes=4, width=4, seed=2), bits=32)
+        qm.sync_from(src)
+        for (_, ps), (_, pd) in zip(src.named_parameters(), qm.model.named_parameters()):
+            assert np.array_equal(ps.data, pd.data)
+
+    def test_sync_copies_bn_running_stats(self):
+        src = resnet20(num_classes=4, width=4, seed=1)
+        src.stem_bn.running_mean[:] = 3.0
+        qm = QuantizedModel(resnet20(num_classes=4, width=4, seed=2), bits=8)
+        qm.sync_from(src)
+        assert np.allclose(qm.model.stem_bn.running_mean, 3.0)
+
+    def test_outputs_close_to_source(self):
+        rng = np.random.default_rng(2)
+        src = resnet20(num_classes=4, width=4, seed=1)
+        qm = QuantizedModel(resnet20(num_classes=4, width=4, seed=3), bits=8)
+        qm.sync_from(src)
+        x = rng.normal(size=(8, 3, 8, 8)).astype(np.float32)
+        src.eval()
+        ref = src(x)
+        out = qm(x)
+        assert np.abs(ref - out).max() < 0.35 * np.abs(ref).max()
+
+    def test_architecture_mismatch_raises(self):
+        src = resnet20(num_classes=4, width=4)
+        qm = QuantizedModel(resnet20(num_classes=5, width=4))
+        with pytest.raises(ValueError):
+            qm.sync_from(src)
+
+    def test_payload_bytes_scale_with_bits(self):
+        model = resnet20(num_classes=4, width=4)
+        b8 = quantized_state_bytes(model, 8)
+        b4 = quantized_state_bytes(model, 4)
+        b32 = quantized_state_bytes(model, 32)
+        assert b4 < b8 < b32
+        # int8 payload is roughly 1 byte per parameter plus buffers.
+        assert b8 >= model.num_parameters()
+
+
+class TestActivationQuantization:
+    def test_int8_activations_stay_close_to_fp32(self):
+        rng = np.random.default_rng(5)
+        src = resnet20(num_classes=4, width=4, seed=1)
+        plain = QuantizedModel(resnet20(num_classes=4, width=4, seed=2), bits=8)
+        acts = QuantizedModel(
+            resnet20(num_classes=4, width=4, seed=3), bits=8, activation_bits=8
+        )
+        plain.sync_from(src)
+        acts.sync_from(src)
+        x = rng.normal(size=(8, 3, 8, 8)).astype(np.float32)
+        ref = plain(x)
+        out = acts(x)
+        assert out.shape == ref.shape
+        assert np.abs(ref - out).max() < 0.5 * np.abs(ref).max()
+
+    def test_lower_activation_bits_more_error(self):
+        rng = np.random.default_rng(6)
+        src = resnet20(num_classes=4, width=4, seed=1)
+        x = rng.normal(size=(16, 3, 8, 8)).astype(np.float32)
+        fp = QuantizedModel(resnet20(num_classes=4, width=4, seed=2), bits=32)
+        fp.sync_from(src)
+        ref = fp(x)
+        errors = []
+        for abits in (4, 8):
+            qm = QuantizedModel(
+                resnet20(num_classes=4, width=4, seed=4), bits=32, activation_bits=abits
+            )
+            qm.sync_from(src)
+            errors.append(float(np.abs(qm(x) - ref).mean()))
+        assert errors[0] > errors[1]
+
+    def test_features_shape_preserved(self):
+        src = resnet20(num_classes=4, width=4, seed=1)
+        qm = QuantizedModel(
+            resnet20(num_classes=4, width=4, seed=2), bits=8, activation_bits=8
+        )
+        qm.sync_from(src)
+        x = np.zeros((3, 3, 8, 8), dtype=np.float32)
+        assert qm.features(x).shape == (3, qm.model.embedding_dim)
+
+    def test_invalid_activation_bits_rejected(self):
+        with pytest.raises(ValueError):
+            QuantizedModel(resnet20(num_classes=4, width=4), activation_bits=1)
+        with pytest.raises(ValueError):
+            QuantizedModel(resnet20(num_classes=4, width=4), activation_bits=32)

@@ -1,0 +1,93 @@
+"""Tests for the training-history co-simulation."""
+
+import numpy as np
+import pytest
+
+from repro.core.metrics import EpochRecord, TrainingHistory
+from repro.pipeline.cosim import cosimulate
+from repro.pipeline.system import SystemModel
+
+
+def make_history(method="nessa", epochs=5, fraction=0.28, dataset_len=50_000,
+                 dropped_per_epoch=0, feedback=270_000):
+    history = TrainingHistory(method=method)
+    for epoch in range(epochs):
+        subset = int(fraction * dataset_len)
+        history.append(
+            EpochRecord(
+                epoch=epoch,
+                train_loss=1.0,
+                test_accuracy=0.8,
+                subset_size=subset,
+                subset_fraction=fraction,
+                samples_trained=subset,
+                selection_ran=True,
+                feedback_bytes=feedback if method.startswith("nessa") else 0,
+                dropped_samples=dropped_per_epoch,
+            )
+        )
+    return history
+
+
+class TestCosimulate:
+    def test_nessa_replay_totals(self):
+        history = make_history("nessa", epochs=5)
+        result = cosimulate(history, "cifar10")
+        assert result.epochs == 5
+        assert len(result.epoch_times) == 5
+        assert result.total_time == pytest.approx(sum(result.epoch_times))
+
+    def test_matches_system_model_for_static_run(self):
+        """With no drops and a constant fraction, cosim == analytic epochs."""
+        history = make_history("nessa", epochs=3, dropped_per_epoch=0)
+        result = cosimulate(history, "cifar10")
+        analytic = SystemModel("cifar10").nessa_epoch(
+            subset_fraction=0.28, pool_fraction=1.0
+        ).total
+        assert result.mean_epoch_time == pytest.approx(analytic, rel=0.01)
+
+    def test_biasing_drops_reduce_replayed_time(self):
+        lazy = cosimulate(make_history("nessa", epochs=8, dropped_per_epoch=0), "svhn")
+        eager = cosimulate(
+            make_history("nessa", epochs=8, dropped_per_epoch=2_000,
+                         dataset_len=73_000), "svhn"
+        )
+        assert eager.total_time <= lazy.total_time + 1e-9
+
+    def test_full_and_baseline_methods(self):
+        for method in ("full", "craig", "kcenters", "random"):
+            history = make_history(method, epochs=3)
+            result = cosimulate(history, "cifar10")
+            assert result.total_time > 0
+            assert result.method == method
+
+    def test_ordering_matches_paper_on_real_style_runs(self):
+        """Replayed: NeSSA < CRAIG < full on CIFAR-10 (Figure 4 ordering)."""
+        t = {
+            m: cosimulate(make_history(m, epochs=4), "cifar10").total_time
+            for m in ("nessa", "craig", "full")
+        }
+        assert t["nessa"] < t["craig"] < t["full"]
+
+    def test_movement_accumulates_per_epoch(self):
+        history = make_history("nessa", epochs=4)
+        result = cosimulate(history, "cifar10")
+        one = cosimulate(make_history("nessa", epochs=1), "cifar10")
+        assert result.movement.host_to_gpu == pytest.approx(
+            4 * one.movement.host_to_gpu, rel=0.01
+        )
+
+    def test_dynamic_fractions_priced_per_epoch(self):
+        history = TrainingHistory(method="nessa")
+        for epoch, frac in enumerate([0.35, 0.30, 0.25, 0.20]):
+            history.append(
+                EpochRecord(epoch, 1.0, 0.8, int(frac * 50_000), frac,
+                            int(frac * 50_000), feedback_bytes=270_000)
+            )
+        result = cosimulate(history, "cifar10")
+        # Later (smaller) epochs must be cheaper.
+        assert result.epoch_times[-1] < result.epoch_times[0]
+
+    def test_empty_history_rejected(self):
+        with pytest.raises(ValueError):
+            cosimulate(TrainingHistory(method="nessa"), "cifar10")

@@ -1,0 +1,97 @@
+"""Tests for the experiment runner glue used by benchmarks and examples."""
+
+import numpy as np
+import pytest
+
+from repro.core.config import NeSSAConfig
+from repro.pipeline.experiment import (
+    ExperimentResult,
+    build_model,
+    make_data,
+    run_method,
+    scaled_recipe,
+)
+
+
+@pytest.fixture(scope="module")
+def tiny_data():
+    # Small scale so each run is ~a second.
+    return make_data("cifar10", scale=0.15, seed=7)
+
+
+RECIPE = scaled_recipe(epochs=2, batch_size=64)
+
+
+class TestHelpers:
+    def test_scaled_recipe_carries_paper_shape(self):
+        recipe = scaled_recipe(epochs=20)
+        assert recipe.epochs == 20
+        assert recipe.lr_milestones == (6, 12, 16)
+        assert recipe.momentum == 0.9
+        assert recipe.weight_decay == 5e-4
+
+    def test_make_data_uses_registry_profile(self):
+        train, test = make_data("svhn", scale=0.2, seed=1)
+        assert train.num_classes == 10
+        assert len(train) > len(test)
+
+    def test_build_model_matches_table1(self):
+        m20 = build_model("cifar10", 10)
+        m18 = build_model("svhn", 10)
+        m50 = build_model("imagenet100", 16)
+        assert [len(s) for s in m20.stages] == [3, 3, 3]
+        assert [len(s) for s in m18.stages] == [2, 2, 2, 2]
+        assert [len(s) for s in m50.stages] == [3, 4, 6, 3]
+
+    def test_build_model_deterministic(self):
+        a = build_model("cifar10", 10, seed=3)
+        b = build_model("cifar10", 10, seed=3)
+        for (_, pa), (_, pb) in zip(a.named_parameters(), b.named_parameters()):
+            assert np.array_equal(pa.data, pb.data)
+
+
+class TestRunMethod:
+    @pytest.mark.parametrize(
+        "method", ["full", "nessa", "nessa-vanilla", "nessa-sb", "nessa-pa",
+                   "craig", "kcenters", "random"]
+    )
+    def test_every_method_runs(self, tiny_data, method):
+        train, test = tiny_data
+        result = run_method("cifar10", method, train, test, RECIPE,
+                            subset_fraction=0.3, seed=0)
+        assert isinstance(result, ExperimentResult)
+        assert result.history.epochs == 2
+        assert 0.0 <= result.final_accuracy <= 1.0
+        assert result.method == method
+
+    def test_full_ignores_fraction(self, tiny_data):
+        train, test = tiny_data
+        result = run_method("cifar10", "full", train, test, RECIPE, seed=0)
+        assert result.subset_fraction == 1.0
+        assert result.history.records[0].samples_trained == len(train)
+
+    def test_default_fraction_from_registry(self, tiny_data):
+        train, test = tiny_data
+        result = run_method("cifar10", "random", train, test, RECIPE, seed=0)
+        assert result.subset_fraction == pytest.approx(0.28)
+
+    def test_custom_nessa_config_respected(self, tiny_data):
+        train, test = tiny_data
+        config = NeSSAConfig(subset_fraction=0.5, use_feedback=False, seed=0)
+        result = run_method(
+            "cifar10", "nessa", train, test, RECIPE,
+            subset_fraction=0.5, nessa_config=config, seed=0,
+        )
+        assert all(r.feedback_bytes == 0 for r in result.history.records)
+
+    def test_unknown_method_raises(self, tiny_data):
+        train, test = tiny_data
+        with pytest.raises(ValueError):
+            run_method("cifar10", "telepathy", train, test, RECIPE)
+        with pytest.raises(ValueError):
+            run_method("cifar10", "nessa-bogus", train, test, RECIPE)
+
+    def test_best_accuracy_property(self, tiny_data):
+        train, test = tiny_data
+        result = run_method("cifar10", "random", train, test, RECIPE, seed=0)
+        assert result.best_accuracy >= result.final_accuracy - 1e-9

@@ -1,0 +1,171 @@
+"""Tests for dataset partitioning (§3.2.3) and subset biasing (§3.2.2)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.selection.biasing import LossHistory
+from repro.selection.craig import craig_select_class
+from repro.selection.partition import (
+    chunk_pairwise_bytes,
+    partition_positions,
+    partitioned_select,
+)
+
+
+class TestPartitionPositions:
+    def test_partitions_cover_everything(self):
+        rng = np.random.default_rng(0)
+        chunks = partition_positions(100, 7, rng)
+        all_items = np.concatenate(chunks)
+        assert sorted(all_items) == list(range(100))
+
+    def test_near_equal_sizes(self):
+        rng = np.random.default_rng(1)
+        chunks = partition_positions(100, 7, rng)
+        sizes = [len(c) for c in chunks]
+        assert max(sizes) - min(sizes) <= 1
+
+    def test_more_chunks_than_items_clamped(self):
+        rng = np.random.default_rng(2)
+        chunks = partition_positions(3, 10, rng)
+        assert len(chunks) == 3
+
+    def test_rejects_bad_chunk_count(self):
+        with pytest.raises(ValueError):
+            partition_positions(10, 0, np.random.default_rng(0))
+
+    @given(n=st.integers(1, 200), chunks=st.integers(1, 20))
+    @settings(max_examples=25, deadline=None)
+    def test_partition_property(self, n, chunks):
+        rng = np.random.default_rng(n * 31 + chunks)
+        parts = partition_positions(n, chunks, rng)
+        combined = np.concatenate(parts) if parts else np.array([])
+        assert sorted(combined) == list(range(n))
+
+
+class TestPartitionedSelect:
+    def _select_fn(self, vectors, k):
+        return craig_select_class(vectors, k)
+
+    def test_selects_exactly_k(self):
+        rng = np.random.default_rng(3)
+        v = rng.normal(size=(120, 5))
+        sel, w, _ = partitioned_select(v, 30, self._select_fn, rng, chunk_select=10)
+        assert len(sel) == 30
+        assert len(np.unique(sel)) == 30
+
+    def test_chunk_memory_bounded(self):
+        """Paper §3.2.3: only a chunk's similarity matrix is materialized."""
+        rng = np.random.default_rng(4)
+        v = rng.normal(size=(200, 5))
+        _, _, max_bytes = partitioned_select(v, 40, self._select_fn, rng, chunk_select=10)
+        # 40/10 = 4 chunks of 50 -> tile is 50x50x4 bytes, not 200x200x4.
+        assert max_bytes <= chunk_pairwise_bytes(51)
+        assert max_bytes < chunk_pairwise_bytes(200)
+
+    def test_paper_chunk_convention(self):
+        """k/m chunks with m selected per chunk (paper's formula)."""
+        rng = np.random.default_rng(5)
+        v = rng.normal(size=(400, 4))
+        k, m = 64, 16
+        sel, _, _ = partitioned_select(v, k, self._select_fn, rng, chunk_select=m)
+        assert len(sel) == k
+
+    def test_weights_conserve_chunk_populations(self):
+        rng = np.random.default_rng(6)
+        v = rng.normal(size=(90, 4))
+        sel, w, _ = partitioned_select(v, 18, self._select_fn, rng, chunk_select=6)
+        # Each chunk's weights sum to its chunk size; totals sum to n.
+        assert w.sum() == pytest.approx(90)
+
+    def test_empty_input(self):
+        sel, w, b = partitioned_select(
+            np.zeros((0, 3)), 5, self._select_fn, np.random.default_rng(0)
+        )
+        assert sel.size == 0 and w.size == 0 and b == 0
+
+    def test_k_larger_than_n_clamped(self):
+        rng = np.random.default_rng(7)
+        v = rng.normal(size=(10, 3))
+        sel, _, _ = partitioned_select(v, 50, self._select_fn, rng, chunk_select=4)
+        assert len(sel) == 10
+
+
+class TestLossHistory:
+    def test_window_keeps_recent_only(self):
+        h = LossHistory(window=3)
+        ids = np.array([1])
+        for loss in [5.0, 4.0, 3.0, 2.0, 1.0]:
+            h.record(ids, np.array([loss]))
+        assert h.mean_recent_loss(1) == pytest.approx((3 + 2 + 1) / 3)
+
+    def test_unseen_sample_has_no_history(self):
+        h = LossHistory()
+        assert h.mean_recent_loss(42) is None
+
+    def test_drop_schedule_every_period(self):
+        h = LossHistory(drop_period=20)
+        assert not h.should_drop_now(0)
+        assert not h.should_drop_now(19)
+        assert h.should_drop_now(20)
+        assert h.should_drop_now(40)
+        assert not h.should_drop_now(21)
+
+    def test_mark_learned_picks_low_loss_quantile(self):
+        h = LossHistory(window=5, drop_quantile=0.5, min_history=3)
+        ids = np.arange(10)
+        # Samples 0-4 have low loss, 5-9 high loss.
+        losses = np.array([0.01] * 5 + [3.0] * 5)
+        for _ in range(4):
+            h.record(ids, losses)
+        marked = h.mark_learned(ids)
+        assert set(marked) == set(range(5))
+
+    def test_min_history_guards_fresh_samples(self):
+        h = LossHistory(min_history=3)
+        ids = np.arange(4)
+        h.record(ids, np.zeros(4))  # only one epoch of history
+        assert h.mark_learned(ids).size == 0
+
+    def test_filter_removes_dropped(self):
+        h = LossHistory()
+        h.drop(np.array([2, 4]))
+        out = h.filter_candidates(np.arange(6))
+        assert sorted(out) == [0, 1, 3, 5]
+        assert h.num_dropped == 2
+
+    def test_filter_never_empties_pool(self):
+        h = LossHistory()
+        h.drop(np.arange(5))
+        out = h.filter_candidates(np.arange(5))
+        assert len(out) == 5  # degenerate config: pool returned untouched
+
+    def test_record_alignment_checked(self):
+        h = LossHistory()
+        with pytest.raises(ValueError):
+            h.record(np.arange(3), np.zeros(2))
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            LossHistory(window=0)
+        with pytest.raises(ValueError):
+            LossHistory(drop_period=0)
+        with pytest.raises(ValueError):
+            LossHistory(drop_quantile=1.0)
+
+    @given(quantile=st.floats(0.1, 0.9))
+    @settings(max_examples=15, deadline=None)
+    def test_marked_fraction_tracks_quantile(self, quantile):
+        h = LossHistory(window=5, drop_quantile=quantile, min_history=2)
+        rng = np.random.default_rng(int(quantile * 100))
+        ids = np.arange(100)
+        losses = rng.uniform(0, 1, size=100)
+        for _ in range(3):
+            h.record(ids, losses)
+        marked = h.mark_learned(ids)
+        assert abs(len(marked) / 100 - quantile) < 0.15
+        # Marked samples are exactly the lowest-loss ones.
+        if len(marked):
+            assert losses[marked].max() <= np.quantile(losses, quantile) + 1e-9

@@ -1,0 +1,70 @@
+"""Tests for the FPGA DRAM embedding-cache model."""
+
+import pytest
+
+from repro.data.registry import DATASETS
+from repro.smartssd.dram import EmbeddingCache
+from repro.smartssd.fpga import KU15P
+
+
+class TestEmbeddingCache:
+    def test_paper_datasets_all_fit(self):
+        """Every Table 1 pool fits the 4 GB DRAM at int8 embeddings."""
+        cache = EmbeddingCache()
+        dims = {"cifar10": 64, "svhn": 512, "cinic10": 512, "cifar100": 512,
+                "tinyimagenet": 512, "imagenet100": 2048}
+        for name, info in DATASETS.items():
+            plan = cache.plan(info.train_size, dims[name], replica_bytes=30e6)
+            assert plan.total_bytes < cache.usable_bytes
+
+    def test_plan_accounting(self):
+        cache = EmbeddingCache()
+        plan = cache.plan(100_000, 512, staging_bytes=64e6, replica_bytes=10e6)
+        assert plan.embedding_bytes == pytest.approx(100_000 * 512)
+        assert plan.total_bytes == pytest.approx(100_000 * 512 + 64e6 + 10e6)
+
+    def test_oversized_pool_rejected(self):
+        cache = EmbeddingCache()
+        with pytest.raises(ValueError, match="exceeds usable FPGA DRAM"):
+            cache.plan(10_000_000, 2048, embedding_bytes_per_value=4)
+
+    def test_max_pool_size_consistent_with_plan(self):
+        cache = EmbeddingCache()
+        limit = cache.max_pool_size(2048, embedding_bytes_per_value=1)
+        cache.plan(limit, 2048)  # exactly at the limit: fits
+        with pytest.raises(ValueError):
+            cache.plan(limit + 1000, 2048)
+
+    def test_precision_scales_capacity(self):
+        cache = EmbeddingCache()
+        int8 = cache.max_pool_size(512, embedding_bytes_per_value=1)
+        fp32 = cache.max_pool_size(512, embedding_bytes_per_value=4)
+        assert int8 == pytest.approx(4 * fp32, rel=0.01)
+
+    def test_refresh_write_bytes_tracks_pool(self):
+        plan = EmbeddingCache().plan(10_000, 512)
+        assert plan.refresh_write_bytes(0.5) == pytest.approx(0.5 * 10_000 * 512)
+        with pytest.raises(ValueError):
+            plan.refresh_write_bytes(0.0)
+
+    def test_reserved_fraction(self):
+        full = EmbeddingCache(reserved_fraction=0.0).usable_bytes
+        partial = EmbeddingCache(reserved_fraction=0.5).usable_bytes
+        assert partial == pytest.approx(full / 2)
+        assert full == pytest.approx(KU15P().dram_bytes)
+
+    def test_validation(self):
+        cache = EmbeddingCache()
+        with pytest.raises(ValueError):
+            cache.plan(0, 512)
+        with pytest.raises(ValueError):
+            cache.plan(100, 512, embedding_bytes_per_value=3)
+        with pytest.raises(ValueError):
+            EmbeddingCache(reserved_fraction=1.0)
+
+    def test_system_model_uses_the_budget(self):
+        """nessa_epoch runs the capacity check (paper configs pass)."""
+        from repro.pipeline.system import SystemModel
+
+        for name in DATASETS:
+            SystemModel(name).nessa_epoch()  # must not raise

@@ -1,0 +1,111 @@
+"""Tests for the event engine and the NAND flash model."""
+
+import pytest
+
+from repro.smartssd.events import EventSimulator, _Activity
+from repro.smartssd.nand import NANDFlash
+
+
+class TestEventSimulator:
+    def test_events_run_in_time_order(self):
+        sim = EventSimulator()
+        order = []
+        sim.schedule(3.0, lambda: order.append("c"))
+        sim.schedule(1.0, lambda: order.append("a"))
+        sim.schedule(2.0, lambda: order.append("b"))
+        sim.run()
+        assert order == ["a", "b", "c"]
+        assert sim.now == pytest.approx(3.0)
+
+    def test_ties_broken_by_schedule_order(self):
+        sim = EventSimulator()
+        order = []
+        sim.schedule(1.0, lambda: order.append(1))
+        sim.schedule(1.0, lambda: order.append(2))
+        sim.run()
+        assert order == [1, 2]
+
+    def test_callbacks_can_schedule_more(self):
+        sim = EventSimulator()
+        hits = []
+
+        def chain():
+            hits.append(sim.now)
+            if len(hits) < 3:
+                sim.schedule(1.0, chain)
+
+        sim.schedule(0.0, chain)
+        sim.run()
+        assert hits == [0.0, 1.0, 2.0]
+
+    def test_run_until_horizon(self):
+        sim = EventSimulator()
+        hits = []
+        sim.schedule(1.0, lambda: hits.append(1))
+        sim.schedule(5.0, lambda: hits.append(5))
+        sim.run(until=2.0)
+        assert hits == [1]
+        assert sim.pending == 1
+        assert sim.now == pytest.approx(2.0)
+
+    def test_negative_delay_rejected(self):
+        sim = EventSimulator()
+        with pytest.raises(ValueError):
+            sim.schedule(-1.0, lambda: None)
+
+    def test_activity_serializes(self):
+        act = _Activity()
+        s1, f1 = act.occupy(0.0, 2.0)
+        s2, f2 = act.occupy(1.0, 2.0)  # wants to start at 1, must wait to 2
+        assert (s1, f1) == (0.0, 2.0)
+        assert (s2, f2) == (2.0, 4.0)
+
+
+class TestNANDFlash:
+    def test_capacity_is_3_84_tb(self):
+        assert NANDFlash().capacity_bytes == pytest.approx(3.84e12)
+
+    def test_store_tracks_utilization(self):
+        nand = NANDFlash()
+        nand.store(1.92e12)
+        assert nand.utilization == pytest.approx(0.5)
+
+    def test_store_over_capacity_raises(self):
+        nand = NANDFlash()
+        with pytest.raises(ValueError):
+            nand.store(4e12)
+
+    def test_free_releases(self):
+        nand = NANDFlash()
+        nand.store(1e12)
+        nand.free(1e12)
+        assert nand.used_bytes == 0.0
+        with pytest.raises(ValueError):
+            nand.free(1.0)
+
+    def test_sequential_read_hits_bandwidth_ceiling(self):
+        nand = NANDFlash()
+        t = nand.read_time(3e9, sequential=True)
+        assert t == pytest.approx(1.0, rel=0.01)  # 3 GB at 3 GB/s
+
+    def test_random_read_latency_bound_for_small_io(self):
+        nand = NANDFlash()
+        seq = nand.read_time(16 * 1024, sequential=True)
+        rnd = nand.read_time(16 * 1024, sequential=False)
+        assert rnd >= seq
+
+    def test_zero_bytes_is_free(self):
+        assert NANDFlash().read_time(0) == 0.0
+
+    def test_negative_bytes_rejected(self):
+        with pytest.raises(ValueError):
+            NANDFlash().read_time(-1)
+
+    def test_paper_datasets_all_fit(self):
+        """All six Table 1 datasets fit on one 3.84 TB drive together."""
+        from repro.data.registry import DATASETS
+
+        nand = NANDFlash()
+        for info in DATASETS.values():
+            nand.store(info.total_bytes)
+        assert nand.utilization < 0.05  # they're tiny next to 3.84 TB

@@ -1,0 +1,70 @@
+"""Tests for the link models, pinned to the paper's Section 4.4 numbers."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.smartssd.link import LinkModel, host_path_link, p2p_link
+
+
+class TestLinkModel:
+    def test_transfer_time_components(self):
+        link = LinkModel("t", 2e9, 1e9, 1e-3)
+        assert link.transfer_time(1e9) == pytest.approx(1.001)
+
+    def test_multiple_requests_pay_latency_each(self):
+        link = LinkModel("t", 2e9, 1e9, 1e-3)
+        assert link.transfer_time(1e9, requests=10) == pytest.approx(1.010)
+
+    def test_sustained_cannot_exceed_peak(self):
+        with pytest.raises(ValueError):
+            LinkModel("t", 1e9, 2e9, 0.0)
+
+    def test_negative_inputs_rejected(self):
+        link = p2p_link()
+        with pytest.raises(ValueError):
+            link.transfer_time(-1)
+        with pytest.raises(ValueError):
+            link.transfer_time(10, requests=0)
+        with pytest.raises(ValueError):
+            link.effective_throughput(0)
+
+    @given(size=st.floats(1e3, 1e9))
+    @settings(max_examples=25, deadline=None)
+    def test_effective_throughput_below_sustained(self, size):
+        link = p2p_link()
+        eff = link.effective_throughput(size)
+        assert 0 < eff <= link.sustained_bytes_per_s
+
+
+class TestPaperCalibration:
+    """Section 4.4 anchor points."""
+
+    def test_p2p_theoretical_peak_3gbps(self):
+        assert p2p_link().peak_bytes_per_s == pytest.approx(3.0e9)
+
+    def test_host_path_effective_1_4gbps(self):
+        """'the effective bandwidth is reduced to 1.4 GBps'."""
+        assert host_path_link().sustained_bytes_per_s == pytest.approx(1.4e9)
+
+    def test_p2p_vs_host_2_14x(self):
+        """'data transfer rates are on average 2.14x faster using the SmartSSD'."""
+        ratio = p2p_link().peak_bytes_per_s / host_path_link().sustained_bytes_per_s
+        assert ratio == pytest.approx(2.14, abs=0.01)
+
+    def test_cifar10_batch_throughput_1_46gbps(self):
+        """Figure 6: 128 x 3 KB batches achieve ~1.46 GB/s."""
+        eff = p2p_link().effective_throughput(128 * 3_000)
+        assert eff / 1e9 == pytest.approx(1.46, abs=0.08)
+
+    def test_imagenet100_batch_throughput_2_28gbps(self):
+        """Figure 6: 128 x 126 KB batches achieve ~2.28 GB/s."""
+        eff = p2p_link().effective_throughput(128 * 126_000)
+        assert eff / 1e9 == pytest.approx(2.28, abs=0.12)
+
+    def test_throughput_increases_with_batch_bytes(self):
+        """Figure 6's monotone trend across the six datasets."""
+        link = p2p_link()
+        sizes = [128 * b for b in (3_000, 3_000, 3_000, 12_000, 126_000)]
+        effs = [link.effective_throughput(s) for s in sizes]
+        assert all(b >= a - 1e-9 for a, b in zip(effs, effs[1:]))

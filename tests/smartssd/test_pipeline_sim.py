@@ -1,0 +1,90 @@
+"""Tests for the event-driven selection pipeline simulation."""
+
+import pytest
+
+from repro.smartssd.kernel import SelectionKernel
+from repro.smartssd.link import p2p_link
+from repro.smartssd.pipeline_sim import simulate_selection_pipeline
+
+
+def run(buffers=2, n=10_000, chunk=500, flops=2e5, bytes_per=512, dim=10, k=3_000):
+    return simulate_selection_pipeline(
+        num_candidates=n,
+        bytes_per_candidate=bytes_per,
+        flops_per_candidate=flops,
+        proxy_dim=dim,
+        subset_size=k,
+        chunk_size=chunk,
+        buffers=buffers,
+    )
+
+
+class TestPipelineSim:
+    def test_all_chunks_complete(self):
+        result = run()
+        assert result.chunks == 20
+        assert result.makespan > 0
+
+    def test_double_buffering_overlaps(self):
+        """With 2 buffers the makespan approaches max(dma, kernel) busy time."""
+        result = run(buffers=2)
+        lower = max(result.dma_busy, result.kernel_busy)
+        upper = result.dma_busy + result.kernel_busy
+        assert lower <= result.makespan <= upper
+        assert result.overlap_efficiency > 0.8
+
+    def test_single_buffer_serializes(self):
+        """One buffer: every chunk's transfer and compute run back-to-back."""
+        result = run(buffers=1)
+        assert result.makespan == pytest.approx(
+            result.dma_busy + result.kernel_busy, rel=0.01
+        )
+
+    def test_more_buffers_never_slower(self):
+        times = [run(buffers=b).makespan for b in (1, 2, 4)]
+        assert times[1] <= times[0] + 1e-9
+        assert times[2] <= times[1] + 1e-9
+
+    def test_bottleneck_identification(self):
+        # Heavy compute per candidate -> kernel-bound.
+        heavy = run(flops=5e6)
+        assert heavy.bottleneck == "kernel"
+        # Heavy bytes per candidate, trivial compute -> dma-bound.
+        wide = run(flops=1e2, bytes_per=200_000)
+        assert wide.bottleneck == "dma"
+
+    def test_matches_closed_form_within_fill_time(self):
+        """The device's closed-form total must track the event simulation."""
+        kernel = SelectionKernel()
+        link = p2p_link()
+        n, chunk, flops, bytes_per, dim, k = 20_000, 512, 1e5, 512, 10, 6_000
+
+        sim = simulate_selection_pipeline(
+            num_candidates=n,
+            bytes_per_candidate=bytes_per,
+            flops_per_candidate=flops,
+            proxy_dim=dim,
+            subset_size=k,
+            chunk_size=chunk,
+            kernel=kernel,
+            link=link,
+        )
+        # Closed form: overlapped max of total stream and total kernel time.
+        stream = link.transfer_time(n * bytes_per, requests=sim.chunks)
+        compute = kernel.selection_time(n, flops, dim, k, chunk)
+        closed = max(stream, compute)
+        # Event sim pays one pipeline-fill (first transfer) extra at most,
+        # plus the final drain; agree within 15%.
+        assert sim.makespan == pytest.approx(closed, rel=0.15)
+
+    def test_deadlock_free_with_odd_sizes(self):
+        result = run(n=1_003, chunk=97, k=101)
+        assert result.chunks == 11
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            run(n=0)
+        with pytest.raises(ValueError):
+            run(buffers=0)
+        with pytest.raises(ValueError):
+            run(chunk=0)
