@@ -7,6 +7,8 @@ Commands
 ``system``   price the per-epoch strategies for a dataset (Figure 4 view).
 ``kernel``   synthesize the selection kernel and print Table 4.
 ``scaling``  the multi-SmartSSD scaling curve (the paper's future work).
+``bench``    run the hot-path microbenchmarks; ``--check`` compares to the
+             committed BENCH_*.json baselines and exits non-zero on regression.
 """
 
 from __future__ import annotations
@@ -122,6 +124,59 @@ def _cmd_scaling(args) -> int:
     return 0
 
 
+def _cmd_bench(args) -> int:
+    import os
+
+    from repro.perf import bench
+
+    if args.repeats < 1 or args.warmup < 0:
+        print("bench: --repeats must be >= 1 and --warmup must be >= 0")
+        return 2
+    if args.tolerance < 0:
+        print("bench: --tolerance must be >= 0")
+        return 2
+    groups = list(bench.GROUPS) if args.group == "all" else [args.group]
+    if not args.check:
+        os.makedirs(args.out_dir, exist_ok=True)
+    regressed = []
+    for group in groups:
+        results = bench.run_group(
+            group,
+            size=args.size,
+            repeats=args.repeats,
+            warmup=args.warmup,
+            with_seed=not args.no_seed,
+        )
+        for r in results:
+            speedup = f"  {r.speedup_vs_seed:5.2f}x vs seed" if r.speedup_vs_seed else ""
+            print(f"  {r.name:32s} median={r.median_s * 1e3:9.3f}ms "
+                  f"p90={r.p90_s * 1e3:9.3f}ms{speedup}")
+
+        out_path = os.path.join(args.out_dir, f"BENCH_{group}.json")
+        if args.check:
+            baseline_path = os.path.join(args.baseline_dir or args.out_dir,
+                                         f"BENCH_{group}.json")
+            if not os.path.exists(baseline_path):
+                print(f"  no baseline at {baseline_path}; skipping check")
+                continue
+            for row in bench.compare(results, bench.load_results(baseline_path),
+                                     tolerance=args.tolerance):
+                if row["regressed"]:
+                    regressed.append(row)
+                    print(f"  REGRESSION {row['name']}: "
+                          f"{row['current_median_s'] * 1e3:.3f}ms vs baseline "
+                          f"{row['baseline_median_s'] * 1e3:.3f}ms "
+                          f"({row['ratio']:.2f}x, tolerance {1 + args.tolerance:.2f}x)")
+        else:
+            bench.write_results(out_path, results)
+            print(f"  wrote {out_path}")
+
+    if regressed:
+        print(f"{len(regressed)} bench(es) regressed beyond tolerance")
+        return 1
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(prog="repro", description=__doc__)
     sub = parser.add_subparsers(dest="command", required=True)
@@ -154,6 +209,22 @@ def build_parser() -> argparse.ArgumentParser:
     scaling.add_argument("--dataset", choices=sorted(DATASETS), default="imagenet100")
     scaling.add_argument("--max-devices", type=int, default=8)
 
+    bench = sub.add_parser("bench", help="run hot-path microbenchmarks")
+    bench.add_argument("--group", choices=["selection", "nn", "all"], default="all")
+    bench.add_argument("--size", choices=["tiny", "default"], default="default")
+    bench.add_argument("--repeats", type=int, default=5)
+    bench.add_argument("--warmup", type=int, default=1)
+    bench.add_argument("--no-seed", action="store_true",
+                       help="skip timing the seed reference implementations")
+    bench.add_argument("--out-dir", default=".",
+                       help="directory for BENCH_<group>.json results")
+    bench.add_argument("--check", action="store_true",
+                       help="compare against baselines instead of writing results")
+    bench.add_argument("--baseline-dir", default=None,
+                       help="baseline directory for --check (default: --out-dir)")
+    bench.add_argument("--tolerance", type=float, default=0.5,
+                       help="allowed fractional slowdown before a check fails")
+
     return parser
 
 
@@ -165,6 +236,7 @@ def main(argv=None) -> int:
         "system": _cmd_system,
         "kernel": _cmd_kernel,
         "scaling": _cmd_scaling,
+        "bench": _cmd_bench,
     }
     return handlers[args.command](args)
 

@@ -5,15 +5,36 @@ height, width) in float32 and come in forward/backward pairs.  The backward
 functions take the upstream gradient and whatever cached values the forward
 pass produced, mirroring how the module layer in :mod:`repro.nn.modules`
 drives them.
+
+Performance notes
+-----------------
+``im2col`` is built from a zero-copy ``np.lib.stride_tricks.as_strided``
+window view followed by a single reshape-copy, replacing the seed's
+``kernel^2`` Python-loop slice fills (the loop is kept as
+``_im2col_loop`` / ``_col2im_loop`` for equivalence tests and
+before/after benchmarks — the strided version is bit-identical).
+
+Convolution and pooling run on a *blocked* column layout
+``(N, C*K*K, OH*OW)`` (:func:`im2col_blocked`): because that layout is a
+free reshape of the strided window copy, the forward pass is one batched
+GEMM with **no** transpose-gathers on either the columns or the output,
+and the backward pass reuses the forward's column buffer (threaded
+through the ``cols`` cache that :class:`repro.nn.modules.Conv2d` holds
+per batch) plus a scatter-add that reads contiguous blocks.  The public
+:func:`im2col`/:func:`col2im` pair keeps the seed's row-major
+``(N*OH*OW, C*K*K)`` layout and exact numerics.
 """
 
 from __future__ import annotations
 
 import numpy as np
+from numpy.lib.stride_tricks import as_strided
 
 __all__ = [
     "im2col",
     "col2im",
+    "im2col_blocked",
+    "col2im_blocked",
     "conv2d",
     "conv2d_backward",
     "max_pool2d",
@@ -32,24 +53,42 @@ def _out_size(size: int, kernel: int, stride: int, pad: int) -> int:
     return (size + 2 * pad - kernel) // stride + 1
 
 
+def _pad2d(x: np.ndarray, pad: int) -> np.ndarray:
+    """Zero-pad the two spatial axes (cheaper than generic ``np.pad``)."""
+    if pad == 0:
+        return x
+    n, c, h, w = x.shape
+    out = np.zeros((n, c, h + 2 * pad, w + 2 * pad), dtype=x.dtype)
+    out[:, :, pad : pad + h, pad : pad + w] = x
+    return out
+
+
+def _window_view(x: np.ndarray, kernel: int, stride: int) -> np.ndarray:
+    """Zero-copy ``(N, C, K, K, OH, OW)`` sliding-window view of a padded input."""
+    n, c, h, w = x.shape
+    oh = (h - kernel) // stride + 1
+    ow = (w - kernel) // stride + 1
+    sn, sc, sh, sw = x.strides
+    return as_strided(
+        x,
+        shape=(n, c, kernel, kernel, oh, ow),
+        strides=(sn, sc, sh, sw, sh * stride, sw * stride),
+    )
+
+
 def im2col(x: np.ndarray, kernel: int, stride: int = 1, pad: int = 0) -> np.ndarray:
     """Unfold ``(N, C, H, W)`` into ``(N * OH * OW, C * kernel * kernel)``.
 
     Each row is one receptive field, so a convolution becomes a single
-    matrix multiply against the flattened filter bank.
+    matrix multiply against the flattened filter bank.  Built from a
+    strided window view and one contiguous copy; bit-identical to the
+    seed loop (``_im2col_loop``).
     """
     n, c, h, w = x.shape
     oh = _out_size(h, kernel, stride, pad)
     ow = _out_size(w, kernel, stride, pad)
-    if pad > 0:
-        x = np.pad(x, ((0, 0), (0, 0), (pad, pad), (pad, pad)), mode="constant")
-
-    cols = np.empty((n, c, kernel, kernel, oh, ow), dtype=x.dtype)
-    for ky in range(kernel):
-        y_max = ky + stride * oh
-        for kx in range(kernel):
-            x_max = kx + stride * ow
-            cols[:, :, ky, kx, :, :] = x[:, :, ky:y_max:stride, kx:x_max:stride]
+    view = _window_view(_pad2d(x, pad), kernel, stride)
+    cols = np.ascontiguousarray(view)
     return cols.transpose(0, 4, 5, 1, 2, 3).reshape(n * oh * ow, -1)
 
 
@@ -65,6 +104,98 @@ def col2im(
     This is the adjoint of :func:`im2col` and therefore exactly the gradient
     routing a convolution's backward pass needs.
     """
+    n, c, h, w = x_shape
+    oh = _out_size(h, kernel, stride, pad)
+    ow = _out_size(w, kernel, stride, pad)
+    cols = cols.reshape(n, oh, ow, c, kernel, kernel).transpose(0, 3, 4, 5, 1, 2)
+    return _scatter_windows(cols, x_shape, kernel, stride, pad)
+
+
+def im2col_blocked(
+    x: np.ndarray, kernel: int, stride: int = 1, pad: int = 0
+) -> tuple[np.ndarray, tuple[int, int]]:
+    """Unfold into the blocked ``(N, C*K*K, OH*OW)`` layout.
+
+    This layout is a free reshape of the contiguous window copy — no
+    transpose-gather — and GEMMs directly against a ``(C_out, C*K*K)``
+    filter bank, producing output already in channel-major order.
+    Returns ``(cols, (oh, ow))``.
+    """
+    n, c, h, w = x.shape
+    oh = _out_size(h, kernel, stride, pad)
+    ow = _out_size(w, kernel, stride, pad)
+    view = _window_view(_pad2d(x, pad), kernel, stride)
+    cols = np.ascontiguousarray(view).reshape(n, c * kernel * kernel, oh * ow)
+    return cols, (oh, ow)
+
+
+def col2im_blocked(
+    cols: np.ndarray,
+    x_shape: tuple,
+    kernel: int,
+    stride: int = 1,
+    pad: int = 0,
+) -> np.ndarray:
+    """Adjoint of :func:`im2col_blocked`: fold ``(N, C*K*K, OH*OW)`` back.
+
+    Unlike :func:`col2im`, the kernel-position slices here are contiguous
+    reads, which makes the scatter-add memory-bandwidth bound instead of
+    gather-bound.
+    """
+    n, c, h, w = x_shape
+    oh = _out_size(h, kernel, stride, pad)
+    ow = _out_size(w, kernel, stride, pad)
+    windows = cols.reshape(n, c, kernel, kernel, oh, ow)
+    return _scatter_windows(windows, x_shape, kernel, stride, pad)
+
+
+def _scatter_windows(
+    windows: np.ndarray, x_shape: tuple, kernel: int, stride: int, pad: int
+) -> np.ndarray:
+    """Sum ``(N, C, K, K, OH, OW)`` window gradients back onto the input grid."""
+    n, c, h, w = x_shape
+    oh, ow = windows.shape[4], windows.shape[5]
+    x = np.zeros((n, c, h + 2 * pad, w + 2 * pad), dtype=windows.dtype)
+    for ky in range(kernel):
+        y_max = ky + stride * oh
+        for kx in range(kernel):
+            x_max = kx + stride * ow
+            if ky == 0 and kx == 0:
+                # The accumulator starts at zero: plain assignment saves a
+                # full read pass over the largest array.
+                x[:, :, :y_max:stride, :x_max:stride] = windows[:, :, 0, 0]
+            else:
+                x[:, :, ky:y_max:stride, kx:x_max:stride] += windows[:, :, ky, kx]
+    if pad > 0:
+        return x[:, :, pad : pad + h, pad : pad + w]
+    return x
+
+
+def _im2col_loop(x: np.ndarray, kernel: int, stride: int = 1, pad: int = 0) -> np.ndarray:
+    """Seed ``kernel^2``-slice im2col (reference for tests/benchmarks)."""
+    n, c, h, w = x.shape
+    oh = _out_size(h, kernel, stride, pad)
+    ow = _out_size(w, kernel, stride, pad)
+    if pad > 0:
+        x = np.pad(x, ((0, 0), (0, 0), (pad, pad), (pad, pad)), mode="constant")
+
+    cols = np.empty((n, c, kernel, kernel, oh, ow), dtype=x.dtype)
+    for ky in range(kernel):
+        y_max = ky + stride * oh
+        for kx in range(kernel):
+            x_max = kx + stride * ow
+            cols[:, :, ky, kx, :, :] = x[:, :, ky:y_max:stride, kx:x_max:stride]
+    return cols.transpose(0, 4, 5, 1, 2, 3).reshape(n * oh * ow, -1)
+
+
+def _col2im_loop(
+    cols: np.ndarray,
+    x_shape: tuple,
+    kernel: int,
+    stride: int = 1,
+    pad: int = 0,
+) -> np.ndarray:
+    """Seed ``kernel^2``-slice col2im (reference for tests/benchmarks)."""
     n, c, h, w = x_shape
     oh = _out_size(h, kernel, stride, pad)
     ow = _out_size(w, kernel, stride, pad)
@@ -90,20 +221,19 @@ def conv2d(
 ) -> tuple[np.ndarray, np.ndarray]:
     """2-D convolution. ``weight`` is ``(C_out, C_in, K, K)``.
 
-    Returns ``(output, cols)`` where ``cols`` is the im2col cache the
-    backward pass reuses.
+    Returns ``(output, cols)`` where ``cols`` is the blocked
+    ``(N, C*K*K, OH*OW)`` column buffer (:func:`im2col_blocked`) that the
+    backward pass reuses — the forward builds it once per batch and
+    :class:`repro.nn.modules.Conv2d` threads it through, so backward
+    never re-derives columns.
     """
-    n, _, h, w = x.shape
+    n = x.shape[0]
     c_out, _, k, _ = weight.shape
-    oh = _out_size(h, k, stride, pad)
-    ow = _out_size(w, k, stride, pad)
-
-    cols = im2col(x, k, stride, pad)
-    out = cols @ weight.reshape(c_out, -1).T
+    cols, (oh, ow) = im2col_blocked(x, k, stride, pad)
+    out = np.matmul(weight.reshape(c_out, -1), cols)  # (n, c_out, oh*ow)
     if bias is not None:
-        out += bias
-    out = out.reshape(n, oh, ow, c_out).transpose(0, 3, 1, 2)
-    return out, cols
+        out += bias[:, None]
+    return out.reshape(n, c_out, oh, ow), cols
 
 
 def conv2d_backward(
@@ -115,37 +245,56 @@ def conv2d_backward(
     pad: int = 0,
     with_bias: bool = False,
 ) -> tuple[np.ndarray, np.ndarray, np.ndarray | None]:
-    """Backward pass of :func:`conv2d`.
+    """Backward pass of :func:`conv2d` given its blocked column cache.
 
     Returns ``(grad_x, grad_weight, grad_bias)``; ``grad_bias`` is ``None``
-    unless ``with_bias`` is set.
+    unless ``with_bias`` is set.  ``grad_weight`` is one batched GEMM on
+    the blocked layout.  ``grad_x`` fuses the column gradient with its
+    scatter: each kernel position's ``(C_in, C_out)`` filter slice
+    multiplies the output gradient and accumulates straight into the
+    padded input-gradient buffer, so the ``(N, C*K*K, OH*OW)`` column
+    gradient is never materialized.
     """
     c_out, c_in, k, _ = weight.shape
-    grad_flat = grad_out.transpose(0, 2, 3, 1).reshape(-1, c_out)
+    n, _, h, w = x_shape
+    oh, ow = grad_out.shape[2], grad_out.shape[3]
+    g = grad_out.reshape(n, c_out, -1)  # (n, c_out, oh*ow), free reshape
 
-    grad_weight = (grad_flat.T @ cols).reshape(c_out, c_in, k, k)
-    grad_bias = grad_flat.sum(axis=0) if with_bias else None
-    grad_cols = grad_flat @ weight.reshape(c_out, -1)
-    grad_x = col2im(grad_cols, x_shape, k, stride, pad)
+    grad_weight = (
+        np.matmul(g, cols.transpose(0, 2, 1)).sum(axis=0).reshape(c_out, c_in, k, k)
+    )
+    grad_bias = grad_out.sum(axis=(0, 2, 3)) if with_bias else None
+
+    grad_x = np.zeros((n, c_in, h + 2 * pad, w + 2 * pad), dtype=grad_out.dtype)
+    for ky in range(k):
+        y_max = ky + stride * oh
+        for kx in range(k):
+            x_max = kx + stride * ow
+            contrib = np.matmul(weight[:, :, ky, kx].T, g).reshape(n, c_in, oh, ow)
+            target = grad_x[:, :, ky:y_max:stride, kx:x_max:stride]
+            if ky == 0 and kx == 0:
+                target[...] = contrib  # buffer is calloc-zero: skip the read pass
+            else:
+                target += contrib
+    if pad > 0:
+        grad_x = grad_x[:, :, pad : pad + h, pad : pad + w]
     return grad_x, grad_weight, grad_bias
 
 
 def max_pool2d(
     x: np.ndarray, kernel: int, stride: int | None = None
 ) -> tuple[np.ndarray, np.ndarray]:
-    """Max pooling. Returns ``(output, argmax)`` with argmax cached for backward."""
-    stride = stride or kernel
-    n, c, h, w = x.shape
-    oh = _out_size(h, kernel, stride, 0)
-    ow = _out_size(w, kernel, stride, 0)
+    """Max pooling. Returns ``(output, argmax)`` with argmax cached for backward.
 
-    cols = im2col(x, kernel, stride, 0).reshape(n * oh * ow, c, kernel * kernel)
-    # im2col rows are (c, k*k) blocks ordered channel-major after the reshape
-    cols = cols.reshape(n * oh * ow * c, kernel * kernel)
-    argmax = cols.argmax(axis=1)
-    out = cols[np.arange(cols.shape[0]), argmax]
-    out = out.reshape(n, oh, ow, c).transpose(0, 3, 1, 2)
-    return out, argmax
+    ``argmax`` is ``(N, C, OH*OW)`` holding flat ``ky*K + kx`` window
+    positions (ties resolve to the first maximum, as in the seed kernel).
+    """
+    n, c, h, w = x.shape
+    cols, (oh, ow) = im2col_blocked(x, kernel, stride or kernel, 0)
+    windows = cols.reshape(n, c, kernel * kernel, oh * ow)
+    argmax = windows.argmax(axis=2)  # (n, c, oh*ow)
+    out = np.take_along_axis(windows, argmax[:, :, None, :], axis=2)[:, :, 0, :]
+    return out.reshape(n, c, oh, ow), argmax
 
 
 def max_pool2d_backward(
@@ -161,22 +310,21 @@ def max_pool2d_backward(
     oh = _out_size(h, kernel, stride, 0)
     ow = _out_size(w, kernel, stride, 0)
 
-    grad_flat = grad_out.transpose(0, 2, 3, 1).reshape(-1)
-    grad_cols = np.zeros((n * oh * ow * c, kernel * kernel), dtype=grad_out.dtype)
-    grad_cols[np.arange(grad_cols.shape[0]), argmax] = grad_flat
-    grad_cols = grad_cols.reshape(n * oh * ow, c * kernel * kernel)
-    return col2im(grad_cols, x_shape, kernel, stride, 0)
+    grad_windows = np.zeros((n, c, kernel * kernel, oh * ow), dtype=grad_out.dtype)
+    np.put_along_axis(
+        grad_windows, argmax[:, :, None, :], grad_out.reshape(n, c, 1, -1), axis=2
+    )
+    return col2im_blocked(
+        grad_windows.reshape(n, c * kernel * kernel, oh * ow), x_shape, kernel, stride, 0
+    )
 
 
 def avg_pool2d(x: np.ndarray, kernel: int, stride: int | None = None) -> np.ndarray:
     """Average pooling over non-overlapping (or strided) windows."""
-    stride = stride or kernel
     n, c, h, w = x.shape
-    oh = _out_size(h, kernel, stride, 0)
-    ow = _out_size(w, kernel, stride, 0)
-    cols = im2col(x, kernel, stride, 0).reshape(n * oh * ow, c, kernel * kernel)
-    out = cols.mean(axis=2)
-    return out.reshape(n, oh, ow, c).transpose(0, 3, 1, 2)
+    cols, (oh, ow) = im2col_blocked(x, kernel, stride or kernel, 0)
+    out = cols.reshape(n, c, kernel * kernel, oh * ow).mean(axis=2)
+    return out.reshape(n, c, oh, ow)
 
 
 def avg_pool2d_backward(
@@ -187,10 +335,11 @@ def avg_pool2d_backward(
     n, c, h, w = x_shape
     oh = _out_size(h, kernel, stride, 0)
     ow = _out_size(w, kernel, stride, 0)
-    grad = grad_out.transpose(0, 2, 3, 1).reshape(n * oh * ow, c, 1)
-    grad_cols = np.broadcast_to(grad / (kernel * kernel), (n * oh * ow, c, kernel * kernel))
-    grad_cols = grad_cols.reshape(n * oh * ow, c * kernel * kernel)
-    return col2im(grad_cols, x_shape, kernel, stride, 0)
+    grad = grad_out.reshape(n, c, 1, oh * ow) / (kernel * kernel)
+    grad_windows = np.broadcast_to(grad, (n, c, kernel * kernel, oh * ow))
+    return col2im_blocked(
+        grad_windows.reshape(n, c * kernel * kernel, oh * ow), x_shape, kernel, stride, 0
+    )
 
 
 def relu(x: np.ndarray) -> np.ndarray:

@@ -11,6 +11,8 @@
 - :mod:`repro.selection.random_sel` — random subsets.
 - :mod:`repro.selection.gradients` — the gradient-proxy computation shared
   by all selectors.
+- :mod:`repro.selection.pairwise` — Gram-matrix pairwise-distance kernels
+  (one-GEMM formulation, fp32 mode, block tiling).
 - :mod:`repro.selection.partition` — chunked selection for the FPGA's
   on-chip memory budget (paper Section 3.2.3).
 - :mod:`repro.selection.biasing` — loss-history tracking and learned-sample
@@ -28,11 +30,13 @@ from repro.selection.craig import CraigSelector, craig_select_class
 from repro.selection.facility import (
     facility_location_value,
     lazy_greedy,
+    lazy_greedy_reference,
     medoid_weights,
     similarity_from_distances,
     stochastic_greedy,
 )
 from repro.selection.gradients import GradientProxy, compute_gradient_proxies
+from repro.selection.pairwise import naive_pairwise_distances, pairwise_distances
 from repro.selection.kcenters import KCentersSelector, k_centers
 from repro.selection.partition import partition_positions, partitioned_select
 from repro.selection.random_sel import RandomSelector
@@ -40,6 +44,9 @@ from repro.selection.random_sel import RandomSelector
 __all__ = [
     "facility_location_value",
     "lazy_greedy",
+    "lazy_greedy_reference",
+    "pairwise_distances",
+    "naive_pairwise_distances",
     "stochastic_greedy",
     "medoid_weights",
     "similarity_from_distances",

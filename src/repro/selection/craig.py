@@ -20,6 +20,7 @@ from repro.selection.facility import (
     stochastic_greedy,
 )
 from repro.selection.gradients import compute_gradient_proxies
+from repro.selection.pairwise import pairwise_distances
 
 __all__ = ["SelectionResult", "craig_select_class", "CraigSelector"]
 
@@ -51,8 +52,18 @@ def craig_select_class(
     method: str = "lazy",
     epsilon: float = 0.1,
     rng: np.random.Generator | None = None,
+    precision: str = "float64",
+    block_size: int | None = None,
+    memory_budget_bytes: int | None = None,
 ) -> tuple[np.ndarray, np.ndarray, int]:
     """Select ``k`` medoids from one class's proxy vectors.
+
+    Distances come from the Gram-matrix identity (one GEMM, ``O(N^2)``
+    peak additional memory) rather than the ``N x N x D`` broadcast; see
+    :mod:`repro.selection.pairwise` for the ``precision`` / ``block_size``
+    / ``memory_budget_bytes`` knobs (fp32 mode and Section 3.2.3-style
+    tile bounding).  The similarity construction guarantees non-negative
+    entries, so the maximizers skip their ``O(N^2)`` validation scan.
 
     Returns ``(local_indices, weights, pairwise_bytes)`` where
     ``pairwise_bytes`` is the similarity-matrix footprint (fp32), i.e. what
@@ -62,13 +73,17 @@ def craig_select_class(
     if n == 0:
         return (np.zeros(0, np.int64), np.zeros(0, np.float64), 0)
     k = min(k, n)
-    diffs = vectors[:, None, :] - vectors[None, :, :]
-    distances = np.sqrt((diffs**2).sum(axis=2))
+    distances = pairwise_distances(
+        vectors,
+        precision=precision,
+        block_size=block_size,
+        memory_budget_bytes=memory_budget_bytes,
+    )
     similarity = similarity_from_distances(distances)
     if method == "lazy":
-        sel = lazy_greedy(similarity, k)
+        sel = lazy_greedy(similarity, k, validate=False)
     elif method == "stochastic":
-        sel = stochastic_greedy(similarity, k, epsilon=epsilon, rng=rng)
+        sel = stochastic_greedy(similarity, k, epsilon=epsilon, rng=rng, validate=False)
     else:
         raise ValueError(f"unknown method {method!r} (use 'lazy' or 'stochastic')")
     weights = medoid_weights(similarity, sel)
@@ -86,10 +101,19 @@ class CraigSelector:
 
     name = "craig"
 
-    def __init__(self, method: str = "lazy", epsilon: float = 0.1, seed: int = 0):
+    def __init__(
+        self,
+        method: str = "lazy",
+        epsilon: float = 0.1,
+        seed: int = 0,
+        precision: str = "float64",
+        memory_budget_bytes: int | None = None,
+    ):
         self.method = method
         self.epsilon = epsilon
         self.rng = np.random.default_rng(seed)
+        self.precision = precision
+        self.memory_budget_bytes = memory_budget_bytes
 
     def select(
         self,
@@ -129,6 +153,8 @@ class CraigSelector:
                 method=self.method,
                 epsilon=self.epsilon,
                 rng=self.rng,
+                precision=self.precision,
+                memory_budget_bytes=self.memory_budget_bytes,
             )
             positions.append(candidates[local[sel]])
             weights.append(w)

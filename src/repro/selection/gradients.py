@@ -46,7 +46,10 @@ class GradientProxy:
     flops: float = 0.0
 
     def __post_init__(self):
-        if self.vectors.shape[0] != self.losses.shape[0] != self.ids.shape[0]:
+        # Note: a chained `a != b != c` comparison would skip comparing
+        # vectors against ids, letting misaligned ids slip through.
+        n = self.vectors.shape[0]
+        if self.losses.shape[0] != n or self.ids.shape[0] != n:
             raise ValueError("vectors, losses and ids must align")
 
 

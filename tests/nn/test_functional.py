@@ -51,6 +51,55 @@ class TestIm2Col:
         assert lhs == pytest.approx(rhs, rel=1e-9, abs=1e-9)
 
 
+class TestStridedIm2ColEquivalence:
+    """The as_strided im2col must be bit-identical to the seed loop."""
+
+    @pytest.mark.parametrize("kernel", [1, 2, 3, 5])
+    @pytest.mark.parametrize("stride", [1, 2, 3])
+    @pytest.mark.parametrize("pad", [0, 1, 2])
+    def test_im2col_matches_loop(self, kernel, stride, pad):
+        rng = np.random.default_rng(kernel * 100 + stride * 10 + pad)
+        x = rng.normal(size=(2, 3, 11, 11)).astype(np.float32)
+        np.testing.assert_array_equal(
+            F.im2col(x, kernel, stride, pad), F._im2col_loop(x, kernel, stride, pad)
+        )
+
+    @pytest.mark.parametrize("kernel", [1, 2, 3])
+    @pytest.mark.parametrize("stride", [1, 2])
+    @pytest.mark.parametrize("pad", [0, 1])
+    def test_col2im_matches_loop(self, kernel, stride, pad):
+        rng = np.random.default_rng(kernel * 100 + stride * 10 + pad + 1)
+        x_shape = (2, 3, 9, 9)
+        cols_shape = F._im2col_loop(np.zeros(x_shape), kernel, stride, pad).shape
+        cols = rng.normal(size=cols_shape)
+        np.testing.assert_array_equal(
+            F.col2im(cols, x_shape, kernel, stride, pad),
+            F._col2im_loop(cols, x_shape, kernel, stride, pad),
+        )
+
+    def test_rectangular_input(self):
+        x = np.random.default_rng(8).normal(size=(1, 2, 6, 10)).astype(np.float32)
+        np.testing.assert_array_equal(F.im2col(x, 3, 2, 1), F._im2col_loop(x, 3, 2, 1))
+
+    def test_blocked_layout_is_reshape_of_windows(self):
+        """Blocked cols carry the same values as the public layout."""
+        x = np.random.default_rng(9).normal(size=(2, 3, 8, 8)).astype(np.float32)
+        cols, (oh, ow) = F.im2col_blocked(x, 3, 1, 1)
+        assert cols.shape == (2, 3 * 9, oh * ow)
+        public = F.im2col(x, 3, 1, 1)  # (n*oh*ow, c*k*k)
+        regather = cols.reshape(2, 3 * 9, oh, ow).transpose(0, 2, 3, 1).reshape(-1, 27)
+        np.testing.assert_array_equal(regather, public)
+
+    def test_col2im_blocked_is_adjoint(self):
+        rng = np.random.default_rng(10)
+        x = rng.normal(size=(2, 3, 7, 7))
+        cols, _ = F.im2col_blocked(x, 3, 2, 1)
+        y = rng.normal(size=cols.shape)
+        lhs = float((cols * y).sum())
+        rhs = float((x * F.col2im_blocked(y, x.shape, 3, 2, 1)).sum())
+        assert lhs == pytest.approx(rhs, rel=1e-10)
+
+
 class TestConv2d:
     def test_matches_direct_convolution(self):
         rng = np.random.default_rng(3)
@@ -99,6 +148,38 @@ class TestConv2d:
         out2, _ = F.conv2d(x, w2, stride=1, pad=1)
         num = ((out2 - out) * g).sum() / eps
         assert grad_w[widx] == pytest.approx(num, rel=1e-4)
+
+
+class TestBlockedConvEquivalence:
+    """Blocked-layout conv matches the seed im2col-GEMM formulation."""
+
+    @pytest.mark.parametrize("stride,pad", [(1, 0), (1, 1), (2, 1), (3, 2)])
+    def test_forward_matches_seed_gemm(self, stride, pad):
+        rng = np.random.default_rng(stride * 10 + pad)
+        x = rng.normal(size=(2, 3, 9, 9))
+        w = rng.normal(size=(4, 3, 3, 3))
+        out, _ = F.conv2d(x, w, stride=stride, pad=pad)
+        cols = F._im2col_loop(x, 3, stride, pad)
+        oh = (9 + 2 * pad - 3) // stride + 1
+        ref = (cols @ w.reshape(4, -1).T).reshape(2, oh, oh, 4).transpose(0, 3, 1, 2)
+        np.testing.assert_allclose(out, ref, rtol=1e-12, atol=1e-12)
+
+    def test_backward_matches_seed_path(self):
+        rng = np.random.default_rng(13)
+        x = rng.normal(size=(2, 3, 8, 8))
+        w = rng.normal(size=(4, 3, 3, 3))
+        out, cols = F.conv2d(x, w, stride=1, pad=1)
+        g = rng.normal(size=out.shape)
+        grad_x, grad_w, grad_b = F.conv2d_backward(g, cols, x.shape, w, 1, 1,
+                                                   with_bias=True)
+
+        seed_cols = F._im2col_loop(x, 3, 1, 1)
+        g_flat = g.transpose(0, 2, 3, 1).reshape(-1, 4)
+        ref_w = (g_flat.T @ seed_cols).reshape(4, 3, 3, 3)
+        ref_x = F._col2im_loop(g_flat @ w.reshape(4, -1), x.shape, 3, 1, 1)
+        np.testing.assert_allclose(grad_w, ref_w, rtol=1e-10, atol=1e-10)
+        np.testing.assert_allclose(grad_x, ref_x, rtol=1e-10, atol=1e-10)
+        np.testing.assert_allclose(grad_b, g_flat.sum(axis=0), rtol=1e-12)
 
 
 class TestPooling:

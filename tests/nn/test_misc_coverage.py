@@ -100,6 +100,18 @@ class TestGradientProxyValidation:
                 ids=np.zeros(3, dtype=np.int64),
             )
 
+    def test_misaligned_ids_rejected(self):
+        """Regression: a chained `a != b != c` check let this case through
+        (losses match vectors, so the second comparison never saw vectors)."""
+        from repro.selection.gradients import GradientProxy
+
+        with pytest.raises(ValueError):
+            GradientProxy(
+                vectors=np.zeros((3, 2)),
+                losses=np.zeros(3),
+                ids=np.zeros(2, dtype=np.int64),
+            )
+
 
 class TestOptimizerClipping:
     def test_clip_caps_update_norm(self):

@@ -8,6 +8,7 @@ from hypothesis import strategies as st
 from repro.selection.facility import (
     facility_location_value,
     lazy_greedy,
+    lazy_greedy_reference,
     medoid_weights,
     similarity_from_distances,
     stochastic_greedy,
@@ -87,6 +88,58 @@ class TestLazyGreedy:
         k = min(k, n - 1)  # at k >= n lazy greedy short-circuits to index order
         s = random_similarity(n, seed=n * 13 + k)
         assert np.array_equal(lazy_greedy(s, k), naive_greedy(s, k))
+
+
+class TestBatchedLazyGreedy:
+    """The batched stale-refresh must reproduce the seed's selection order."""
+
+    def test_matches_reference_order_exactly(self):
+        for seed in range(5):
+            s = random_similarity(60, seed=seed)
+            ref = lazy_greedy_reference(s, 15)
+            assert np.array_equal(lazy_greedy(s, 15), ref)
+
+    def test_odd_batch_sizes(self):
+        s = random_similarity(50, seed=11)
+        ref = lazy_greedy_reference(s, 12)
+        for batch in (1, 2, 3, 7, 16, 64, 1000):
+            assert np.array_equal(lazy_greedy(s, 12, batch_size=batch), ref)
+
+    def test_rejects_bad_batch_size(self):
+        with pytest.raises(ValueError):
+            lazy_greedy(random_similarity(10), 2, batch_size=0)
+
+    def test_duplicate_rows_tie_breaking(self):
+        """Identical candidates exercise heap tie-breaks through the index."""
+        rng = np.random.default_rng(12)
+        v = rng.normal(size=(10, 3))
+        v = np.vstack([v, v, v])  # every point appears three times
+        d = np.linalg.norm(v[:, None] - v[None, :], axis=2)
+        s = similarity_from_distances(d)
+        assert np.array_equal(lazy_greedy(s, 8), lazy_greedy_reference(s, 8))
+
+    @given(n=st.integers(5, 40), k=st.integers(1, 10), batch=st.integers(1, 12))
+    @settings(max_examples=25, deadline=None)
+    def test_batched_equals_reference_property(self, n, k, batch):
+        k = min(k, n - 1)
+        s = random_similarity(n, seed=n * 7 + k * 3 + batch)
+        assert np.array_equal(
+            lazy_greedy(s, k, batch_size=batch), lazy_greedy_reference(s, k)
+        )
+
+
+class TestValidateFlag:
+    def test_validate_false_skips_negativity_scan(self):
+        s = np.array([[1.0, -0.1], [-0.1, 1.0]])
+        with pytest.raises(ValueError):
+            lazy_greedy(s, 1)  # default validates
+        lazy_greedy(s, 1, validate=False)  # trusted caller: no scan, no raise
+
+    def test_stochastic_validate_false(self):
+        s = np.array([[1.0, -0.1], [-0.1, 1.0]])
+        with pytest.raises(ValueError):
+            stochastic_greedy(s, 1)
+        stochastic_greedy(s, 1, rng=np.random.default_rng(0), validate=False)
 
 
 class TestStochasticGreedy:
