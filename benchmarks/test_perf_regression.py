@@ -7,6 +7,8 @@ the default sizes; they are timing-sensitive and excluded from tier-1
 (run them with ``pytest benchmarks -m perf``).
 """
 
+import os
+
 import pytest
 
 from repro.perf import bench
@@ -42,4 +44,23 @@ def test_pairwise_distances_speedup_vs_seed():
     assert r.speedup_vs_seed is not None
     assert r.speedup_vs_seed >= 2.0, (
         f"pairwise distances only {r.speedup_vs_seed:.2f}x vs seed broadcast"
+    )
+
+
+@pytest.mark.perf
+@pytest.mark.skipif(
+    (os.cpu_count() or 1) < 4,
+    reason="parallel speedup needs >= 4 physical cores",
+)
+def test_parallel_selection_round_speedup_at_4_workers():
+    # The engine's scaling target: the same round, 4-way fan-out vs
+    # serial.  Only meaningful on a multi-core box — on 1-2 cores the
+    # pool adds pure overhead (documented in README "Performance").
+    serial = bench.run_bench("parallel.selection_round_w1", size="default",
+                             repeats=3, with_seed=False)
+    fanned = bench.run_bench("parallel.selection_round_w4", size="default",
+                             repeats=3, with_seed=False)
+    speedup = serial.median_s / fanned.median_s
+    assert speedup >= 2.5, (
+        f"4-worker selection round only {speedup:.2f}x vs serial"
     )

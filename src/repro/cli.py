@@ -54,6 +54,7 @@ def _cmd_train(args) -> int:
             subset_fraction=args.fraction or DATASETS[args.dataset].subset_fraction,
             biasing_drop_period=max(3, args.epochs // 3),
             seed=args.seed,
+            workers=args.workers,
         )
     result = run_method(
         args.dataset,
@@ -83,7 +84,7 @@ def _cmd_train(args) -> int:
 def _cmd_system(args) -> int:
     from repro.pipeline.system import SystemModel, average_speedups, data_movement_summary
 
-    model = SystemModel(args.dataset)
+    model = SystemModel(args.dataset, selection_workers=args.workers)
     print(f"per-epoch strategy costs for {args.dataset} (modelled seconds):")
     for name, timing in model.epoch_table().items():
         print(f"  {name:9s} ingest={timing.ingest_time:8.2f} "
@@ -135,6 +136,9 @@ def _cmd_bench(args) -> int:
     if args.tolerance < 0:
         print("bench: --tolerance must be >= 0")
         return 2
+    if args.workers is not None and args.workers < 1:
+        print("bench: --workers must be >= 1")
+        return 2
     groups = list(bench.GROUPS) if args.group == "all" else [args.group]
     if not args.check:
         os.makedirs(args.out_dir, exist_ok=True)
@@ -146,6 +150,7 @@ def _cmd_bench(args) -> int:
             repeats=args.repeats,
             warmup=args.warmup,
             with_seed=not args.no_seed,
+            max_workers=args.workers,
         )
         for r in results:
             speedup = f"  {r.speedup_vs_seed:5.2f}x vs seed" if r.speedup_vs_seed else ""
@@ -199,9 +204,14 @@ def build_parser() -> argparse.ArgumentParser:
     train.add_argument("--seed", type=int, default=1)
     train.add_argument("--data-seed", type=int, default=3)
     train.add_argument("--save-history", default=None, metavar="PATH")
+    train.add_argument("--workers", type=int, default=1,
+                       help="selection-engine process count (1 = serial; "
+                            "results are identical for any count)")
 
     system = sub.add_parser("system", help="price the per-epoch strategies")
     system.add_argument("--dataset", choices=sorted(DATASETS), default="cifar10")
+    system.add_argument("--workers", type=int, default=1,
+                        help="host-CPU cores modelled for CPU-side selection")
 
     sub.add_parser("kernel", help="synthesize the selection kernel (Table 4)")
 
@@ -210,7 +220,8 @@ def build_parser() -> argparse.ArgumentParser:
     scaling.add_argument("--max-devices", type=int, default=8)
 
     bench = sub.add_parser("bench", help="run hot-path microbenchmarks")
-    bench.add_argument("--group", choices=["selection", "nn", "all"], default="all")
+    bench.add_argument("--group", choices=["selection", "nn", "parallel", "all"],
+                       default="all")
     bench.add_argument("--size", choices=["tiny", "default"], default="default")
     bench.add_argument("--repeats", type=int, default=5)
     bench.add_argument("--warmup", type=int, default=1)
@@ -224,6 +235,8 @@ def build_parser() -> argparse.ArgumentParser:
                        help="baseline directory for --check (default: --out-dir)")
     bench.add_argument("--tolerance", type=float, default=0.5,
                        help="allowed fractional slowdown before a check fails")
+    bench.add_argument("--workers", type=int, default=None,
+                       help="skip parallel benches needing more workers than this")
 
     return parser
 

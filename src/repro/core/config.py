@@ -16,6 +16,10 @@ from dataclasses import dataclass, field, replace
 
 __all__ = ["TrainRecipe", "NeSSAConfig"]
 
+# Similarity-tile entry widths the accounting understands (paper fp32
+# tiles, host float64 block-tiled selection, int8 quantized kernel).
+_SIMILARITY_DTYPE_BYTES = {"float64": 8, "float32": 4, "int8": 1}
+
 
 @dataclass(frozen=True)
 class TrainRecipe:
@@ -74,6 +78,16 @@ class NeSSAConfig:
     use_partitioning : dataset partitioning (§3.2.3).
     partition_chunk_select : samples selected per chunk (*m*; the paper
         uses the mini-batch size, and the trainer defaults it to that).
+    workers : process count for the parallel selection engine
+        (:mod:`repro.parallel`); 1 keeps selection serial in-process.
+        Parallel results are bit-identical to serial for any count.
+    similarity_precision : entry dtype of the similarity tiles the
+        accounting charges against on-chip memory — ``"float32"`` (the
+        FPGA kernel's fp32 tile), ``"float64"`` (host-side block-tiled
+        path), or ``"int8"`` (quantized-similarity kernel).
+    proxy_cache_entries : LRU capacity of the proxy-reuse cache (skips
+        the selection forward pass when the quantized feedback weights
+        and candidate pool are unchanged); 0 disables caching.
     dynamic_subset : shrink the subset when the loss-reduction rate stalls
         (introduction contribution 4).
     dynamic_threshold / dynamic_shrink / min_subset_fraction : stall
@@ -97,6 +111,10 @@ class NeSSAConfig:
     use_partitioning: bool = True
     partition_chunk_select: int | None = None
 
+    workers: int = 1
+    similarity_precision: str = "float32"
+    proxy_cache_entries: int = 4
+
     dynamic_subset: bool = False
     dynamic_threshold: float = 0.02
     dynamic_shrink: float = 0.9
@@ -115,6 +133,20 @@ class NeSSAConfig:
             raise ValueError("feedback_bits must be in [2, 32]")
         if not 0.0 < self.min_subset_fraction <= self.subset_fraction:
             raise ValueError("min_subset_fraction must be in (0, subset_fraction]")
+        if self.workers < 1:
+            raise ValueError("workers must be >= 1")
+        if self.similarity_precision not in _SIMILARITY_DTYPE_BYTES:
+            raise ValueError(
+                "similarity_precision must be one of "
+                f"{sorted(_SIMILARITY_DTYPE_BYTES)}"
+            )
+        if self.proxy_cache_entries < 0:
+            raise ValueError("proxy_cache_entries must be >= 0")
+
+    @property
+    def similarity_dtype_bytes(self) -> int:
+        """Bytes per similarity-matrix entry under ``similarity_precision``."""
+        return _SIMILARITY_DTYPE_BYTES[self.similarity_precision]
 
     def vanilla(self) -> "NeSSAConfig":
         """NeSSA without SB and PA — Table 3's 'Vanilla' column."""

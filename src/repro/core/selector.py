@@ -4,28 +4,35 @@ One :meth:`NeSSASelector.select` call is what the paper's FPGA kernel does
 at the start of an epoch (system step 2 in Figure 3):
 
 1. score every candidate with the quantized feedback model (forward pass
-   → last-layer gradient proxies, §3.1 / §3.2.1);
+   → last-layer gradient proxies, §3.1 / §3.2.1) — memoized by the
+   :class:`~repro.parallel.cache.ProxyCache` when neither the feedback
+   weights nor the candidate pool changed since the last round;
 2. restrict candidates to samples not yet "learned" (subset biasing,
    §3.2.2 — the :class:`~repro.selection.biasing.LossHistory` is fed by
    the trainer);
-3. per class, select medoids by facility-location maximization — over
-   random chunks when partitioning is on (§3.2.3), whole-class otherwise;
+3. flatten the per-class facility-location work into independent
+   (class x chunk) units (:mod:`repro.parallel.scheduler`) and run them —
+   serially, or fanned out over the
+   :class:`~repro.parallel.engine.SelectionExecutor`'s process pool with
+   proxies in shared memory.  Unit RNG streams are keyed, not shared, so
+   the two paths are bit-identical for any worker count;
 4. return medoid positions + CRAIG weights, plus the accounting the
-   storage model consumes (proxy FLOPs, largest similarity buffer).
+   storage model consumes (proxy FLOPs, largest similarity buffer at the
+   config's similarity dtype).
 """
 
 from __future__ import annotations
-
-from functools import partial
 
 import numpy as np
 
 from repro.core.config import NeSSAConfig
 from repro.data.dataset import Dataset, Subset
+from repro.parallel.cache import ProxyCache
+from repro.parallel.engine import SelectionExecutor, SelectionSpec
+from repro.parallel.scheduler import plan_selection_round
 from repro.selection.biasing import LossHistory
-from repro.selection.craig import SelectionResult, craig_select_class
+from repro.selection.craig import SelectionResult
 from repro.selection.gradients import compute_gradient_proxies
-from repro.selection.partition import partitioned_select
 
 __all__ = ["NeSSASelector"]
 
@@ -38,13 +45,22 @@ class NeSSASelector:
     config : the NeSSA knobs; :class:`~repro.core.config.NeSSAConfig`.
     chunk_select : per-chunk selection count *m* for partitioning; the
         trainer passes the mini-batch size per the paper's convention.
+    workers : overrides ``config.workers`` (process count of the
+        selection engine; 1 = serial).  Selections are bit-identical
+        across worker counts — see DESIGN.md §4.
     """
 
     name = "nessa"
 
-    def __init__(self, config: NeSSAConfig, chunk_select: int | None = None):
+    def __init__(
+        self,
+        config: NeSSAConfig,
+        chunk_select: int | None = None,
+        workers: int | None = None,
+    ):
         self.config = config
         self.chunk_select = chunk_select or config.partition_chunk_select
+        self.workers = config.workers if workers is None else max(1, workers)
         self.rng = np.random.default_rng(config.seed)
         self.loss_history = LossHistory(
             window=config.biasing_window,
@@ -52,7 +68,14 @@ class NeSSASelector:
             drop_quantile=config.biasing_drop_quantile,
             min_history=min(3, config.biasing_window),
         )
+        self.proxy_cache = (
+            ProxyCache(config.proxy_cache_entries)
+            if config.proxy_cache_entries > 0
+            else None
+        )
+        self.executor = SelectionExecutor(self.workers)
         self.last_pairwise_bytes = 0
+        self._round = 0
 
     def record_epoch_losses(self, ids: np.ndarray, losses: np.ndarray) -> None:
         """Trainer feedback: per-sample losses of the samples just trained."""
@@ -108,39 +131,42 @@ class NeSSASelector:
             dataset.x[candidates],
             dataset.y[candidates],
             ids=dataset.ids[candidates],
+            cache=self.proxy_cache,
         )
 
         k_total = max(1, int(round(fraction * len(dataset))))
         k_total = min(k_total, len(candidates))
         labels = dataset.y[candidates]
 
-        positions, weights = [], []
-        max_pairwise = 0
-        select_fn = partial(
-            craig_select_class,
+        chunk_select = None
+        if self.config.use_partitioning:
+            chunk_select = self.chunk_select or 128
+        units = plan_selection_round(
+            labels,
+            k_total,
+            seed=self.config.seed,
+            round_index=self._round,
+            chunk_select=chunk_select,
+        )
+        self._round += 1
+        spec = SelectionSpec(
             method=self.config.selection_method,
             epsilon=self.config.stochastic_epsilon,
-            rng=self.rng,
+            similarity_dtype_bytes=self.config.similarity_dtype_bytes,
         )
-        for label in np.unique(labels):
-            local = np.flatnonzero(labels == label)
-            k_c = max(1, int(round(k_total * len(local) / len(candidates))))
-            k_c = min(k_c, len(local))
-            if self.config.use_partitioning:
-                m = self.chunk_select or 128
-                sel, w, nbytes = partitioned_select(
-                    proxy.vectors[local], k_c, select_fn, self.rng, chunk_select=m
-                )
-            else:
-                sel, w, nbytes = select_fn(proxy.vectors[local], k_c)
-            positions.append(candidates[local[sel]])
+        outcomes = self.executor.run_units(proxy.vectors, units, spec, labels=labels)
+
+        positions, weights = [], []
+        max_pairwise = 0
+        for unit, (sel, w, nbytes) in zip(units, outcomes):
+            positions.append(candidates[unit.positions[sel]])
             weights.append(w)
             max_pairwise = max(max_pairwise, nbytes)
 
         self.last_pairwise_bytes = max_pairwise
         return SelectionResult(
-            positions=np.concatenate(positions),
-            weights=np.concatenate(weights),
+            positions=np.concatenate(positions) if positions else np.zeros(0, np.int64),
+            weights=np.concatenate(weights) if weights else np.zeros(0, np.float64),
             pairwise_bytes=max_pairwise,
             proxy_flops=proxy.flops,
         )
@@ -149,3 +175,13 @@ class NeSSASelector:
         """Run :meth:`select` and wrap the result as a weighted Subset."""
         result = self.select(dataset, fraction, model)
         return Subset(dataset, result.positions, weights=result.weights)
+
+    def close(self) -> None:
+        """Release the engine's process pool (no-op for serial selectors)."""
+        self.executor.close()
+
+    def __enter__(self) -> "NeSSASelector":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()

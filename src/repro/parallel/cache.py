@@ -1,0 +1,109 @@
+"""Proxy-reuse cache: skip the selection forward pass when nothing changed.
+
+Between §3.2.2 biasing drops, consecutive selection rounds often see the
+exact same (feedback weights, candidate pool) pair — e.g. when the
+feedback loop is disabled (ablation arm), when ``select_every > 1``
+re-selects with stale weights, or when a round is re-run for analysis.
+The gradient-proxy forward pass is the round's single most expensive
+stage, and its output is a pure function of the quantized weights and
+the candidate rows; :class:`ProxyCache` memoizes it under a digest of
+both, so an unchanged pair costs one hash instead of one forward pass.
+
+Invalidation is structural, not temporal: any weight update (the digest
+covers every parameter and buffer byte of the replica) or any pool
+mutation (the digest covers the candidate id array and the proxy mode)
+produces a different key.  ``tests/parallel`` property-tests both
+invalidation axes.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from collections import OrderedDict
+
+import numpy as np
+
+__all__ = ["ProxyCache", "model_weights_digest"]
+
+
+def model_weights_digest(model) -> str | None:
+    """Hex digest of every parameter/buffer byte of ``model``.
+
+    Accepts the quantized replica (:class:`~repro.nn.quantize.QuantizedModel`)
+    or a bare :class:`~repro.nn.modules.Module`.  Returns ``None`` for
+    models without introspectable state (plain callables) — callers must
+    then bypass the cache, since staleness cannot be detected.
+    """
+    inner = getattr(model, "model", model)
+    named_parameters = getattr(inner, "named_parameters", None)
+    if named_parameters is None:
+        return None
+    h = hashlib.blake2b(digest_size=16)
+    try:
+        for name, param in named_parameters():
+            h.update(name.encode())
+            h.update(np.ascontiguousarray(param.data).tobytes())
+        named_buffers = getattr(inner, "named_buffers", None)
+        if named_buffers is not None:
+            for name, buf in named_buffers():
+                h.update(name.encode())
+                h.update(np.ascontiguousarray(buf).tobytes())
+    except Exception:
+        return None
+    return h.hexdigest()
+
+
+class ProxyCache:
+    """Small LRU over :class:`~repro.selection.gradients.GradientProxy` results.
+
+    ``max_entries`` bounds memory: each entry holds one candidate pool's
+    ``(N, D)`` proxy matrix, so a handful suffices (the common hit
+    pattern alternates between at most two pools around a biasing drop).
+    """
+
+    def __init__(self, max_entries: int = 4):
+        if max_entries < 1:
+            raise ValueError("max_entries must be >= 1")
+        self.max_entries = max_entries
+        self.hits = 0
+        self.misses = 0
+        self._entries: OrderedDict[str, object] = OrderedDict()
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def key(self, model, ids: np.ndarray, mode: str) -> str | None:
+        """Cache key for (feedback weights, candidate pool, proxy mode)."""
+        weights = model_weights_digest(model)
+        if weights is None:
+            return None
+        h = hashlib.blake2b(digest_size=16)
+        h.update(weights.encode())
+        h.update(mode.encode())
+        h.update(np.ascontiguousarray(np.asarray(ids)).tobytes())
+        return h.hexdigest()
+
+    def get(self, key: str | None):
+        """The cached proxy for ``key``, or ``None`` (counts hit/miss)."""
+        if key is None:
+            return None
+        entry = self._entries.get(key)
+        if entry is None:
+            self.misses += 1
+            return None
+        self._entries.move_to_end(key)
+        self.hits += 1
+        return entry
+
+    def put(self, key: str | None, proxy) -> None:
+        if key is None:
+            return
+        self._entries[key] = proxy
+        self._entries.move_to_end(key)
+        while len(self._entries) > self.max_entries:
+            self._entries.popitem(last=False)
+
+    def clear(self) -> None:
+        self._entries.clear()
+        self.hits = 0
+        self.misses = 0

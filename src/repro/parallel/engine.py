@@ -1,0 +1,227 @@
+"""The multi-core selection executor (the FPGA's spatial parallelism, on CPUs).
+
+CRAIG-style per-class selection parallelizes trivially — every
+(class x chunk) work unit is an independent facility-location problem —
+and the paper's FPGA exploits exactly that with spatially parallel
+compute units.  :class:`SelectionExecutor` is the substitution-faithful
+CPU analogue: a *persistent* process pool (forked once, reused across
+selection rounds) that pulls proxy vectors from a
+:class:`~repro.parallel.store.SharedFeatureStore` segment instead of
+unpickling them per task.
+
+Determinism contract: a unit's result depends only on ``(vectors rows,
+take, seed_key, spec)`` — never on which worker ran it or when — and
+results are re-assembled in :attr:`WorkUnit.order`.  Serial and parallel
+execution are therefore bit-identical; ``tests/parallel`` proves it for
+worker counts 1/2/4.
+
+Fallbacks: ``workers <= 1``, missing POSIX shared memory, or a pool that
+fails to start all degrade to the in-process serial loop (same results,
+``fallback_reason`` says why).
+"""
+
+from __future__ import annotations
+
+import os
+
+import numpy as np
+
+from repro.parallel.scheduler import WorkUnit, unit_rng
+from repro.parallel.store import SharedFeatureStore, StoreHandle, shared_memory_available
+
+__all__ = ["SelectionSpec", "SelectionExecutor", "execute_unit", "default_workers"]
+
+
+def default_workers() -> int:
+    """A sensible worker count for this machine (never more than cores)."""
+    return max(1, os.cpu_count() or 1)
+
+
+class SelectionSpec(dict):
+    """Per-round selection parameters shipped with every task.
+
+    A thin dict subclass so the worker call-site reads declaratively;
+    keys mirror :func:`repro.selection.craig.craig_select_class` kwargs.
+    """
+
+    def __init__(
+        self,
+        method: str = "lazy",
+        epsilon: float = 0.1,
+        precision: str = "float64",
+        similarity_dtype_bytes: int = 4,
+    ):
+        super().__init__(
+            method=method,
+            epsilon=epsilon,
+            precision=precision,
+            similarity_dtype_bytes=similarity_dtype_bytes,
+        )
+
+
+def execute_unit(
+    vectors: np.ndarray, unit: WorkUnit, spec: SelectionSpec
+) -> tuple[np.ndarray, np.ndarray, int]:
+    """Run one work unit on its chunk's vectors (both serial and worker path).
+
+    ``vectors`` are the *chunk's* rows (already gathered).  Returns
+    ``(chunk-local indices, weights, pairwise_bytes)``.
+    """
+    from repro.selection.craig import craig_select_class
+
+    return craig_select_class(
+        vectors,
+        unit.take,
+        method=spec["method"],
+        epsilon=spec["epsilon"],
+        rng=unit_rng(unit.seed_key),
+        precision=spec["precision"],
+        similarity_dtype_bytes=spec["similarity_dtype_bytes"],
+    )
+
+
+# -- worker side -------------------------------------------------------------
+
+_WORKER_STORES: dict[str, SharedFeatureStore] = {}
+
+
+def _worker_store(handle: StoreHandle) -> SharedFeatureStore:
+    """Attach (once) to the task's segment; drop stale rounds' mappings."""
+    store = _WORKER_STORES.get(handle.name)
+    if store is None:
+        for old in _WORKER_STORES.values():
+            old.close()
+        _WORKER_STORES.clear()
+        store = SharedFeatureStore.attach(handle)
+        _WORKER_STORES[handle.name] = store
+    return store
+
+
+def _run_task(task) -> tuple[np.ndarray, np.ndarray, int]:
+    handle, unit, spec = task
+    store = _worker_store(handle)
+    return execute_unit(store.vectors[unit.positions], unit, spec)
+
+
+def _run_generic_task(task):
+    handle, positions, fn, fn_args = task
+    store = _worker_store(handle)
+    return fn(store.vectors[positions], *fn_args)
+
+
+# -- parent side -------------------------------------------------------------
+
+
+class SelectionExecutor:
+    """Persistent fan-out executor for selection work units.
+
+    Parameters
+    ----------
+    workers : pool size; ``<= 1`` means in-process serial execution.
+    start_method : multiprocessing start method (default: ``fork`` where
+        available — workers inherit loaded modules, so spin-up is one
+        ``fork()`` per worker — else the platform default).
+    """
+
+    def __init__(self, workers: int = 1, start_method: str | None = None):
+        self.workers = max(1, int(workers))
+        self.start_method = start_method
+        self.fallback_reason: str | None = None
+        self._pool = None
+        if self.workers > 1 and not shared_memory_available():
+            self.fallback_reason = "POSIX shared memory unavailable"
+
+    @property
+    def is_parallel(self) -> bool:
+        return self.workers > 1 and self.fallback_reason is None
+
+    def _ensure_pool(self):
+        if self._pool is not None:
+            return self._pool
+        import multiprocessing as mp
+
+        try:
+            method = self.start_method
+            if method is None:
+                method = "fork" if "fork" in mp.get_all_start_methods() else None
+            ctx = mp.get_context(method)
+            self._pool = ctx.Pool(processes=self.workers)
+        except Exception as exc:  # pragma: no cover - platform dependent
+            self.fallback_reason = f"process pool unavailable: {exc}"
+            self._pool = None
+        return self._pool
+
+    def run_units(
+        self,
+        vectors: np.ndarray,
+        units: list[WorkUnit],
+        spec: SelectionSpec,
+        labels: np.ndarray | None = None,
+    ) -> list[tuple[np.ndarray, np.ndarray, int]]:
+        """Execute every unit; results ordered by :attr:`WorkUnit.order`.
+
+        Serial and parallel paths call the same :func:`execute_unit` on
+        the same float64 rows, so their outputs are bit-identical.
+        """
+        if not units:
+            return []
+        if self.is_parallel and len(units) > 1:
+            pool = self._ensure_pool()
+            if pool is not None:
+                store = SharedFeatureStore(vectors, labels)
+                try:
+                    tasks = [(store.handle, u, spec) for u in units]
+                    return pool.map(_run_task, tasks, chunksize=1)
+                finally:
+                    store.close()
+                    store.unlink()
+        return [execute_unit(vectors[u.positions], u, spec) for u in units]
+
+    def map_chunks(
+        self,
+        vectors: np.ndarray,
+        chunk_positions: list,
+        fn,
+        fn_args: tuple = (),
+    ) -> list:
+        """Apply ``fn(chunk_vectors, *fn_args)`` to row-chunks of ``vectors``.
+
+        The generic sibling of :meth:`run_units` (used by GreeDi's
+        round-1 shard selections): ``fn`` must be a picklable
+        module-level callable; results come back in chunk order.
+        """
+        if not chunk_positions:
+            return []
+        if self.is_parallel and len(chunk_positions) > 1:
+            pool = self._ensure_pool()
+            if pool is not None:
+                store = SharedFeatureStore(vectors)
+                try:
+                    tasks = [
+                        (store.handle, np.asarray(pos), fn, fn_args)
+                        for pos in chunk_positions
+                    ]
+                    return pool.map(_run_generic_task, tasks, chunksize=1)
+                finally:
+                    store.close()
+                    store.unlink()
+        return [fn(vectors[np.asarray(pos)], *fn_args) for pos in chunk_positions]
+
+    def close(self) -> None:
+        """Shut the pool down (workers are daemonic; exit also reaps them)."""
+        if self._pool is not None:
+            self._pool.terminate()
+            self._pool.join()
+            self._pool = None
+
+    def __enter__(self) -> "SelectionExecutor":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+    def __del__(self):  # pragma: no cover - interpreter-shutdown dependent
+        try:
+            self.close()
+        except Exception:
+            pass

@@ -1,0 +1,180 @@
+"""Zero-copy feature store backed by POSIX shared memory.
+
+The parallel selection engine fans (class x chunk) work units out to a
+persistent process pool.  Shipping the ``(N, D)`` proxy matrix inside
+every task would serialize the whole pool once per unit; instead the
+parent publishes the matrix (and the aligned labels) into
+:mod:`multiprocessing.shared_memory` segments once per selection round,
+and workers attach to the segments by name — an ``shm_open`` + ``mmap``,
+no copy, no pickling of array payloads.  Tasks then carry only the small
+chunk-position index arrays.
+
+Workers cache their attachment per segment name (see
+:mod:`repro.parallel.engine`), so a round's second and later units pay
+nothing at all.  :func:`shared_memory_available` gates the whole
+mechanism: platforms without working POSIX shared memory fall back to
+the serial path.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+__all__ = ["StoreHandle", "SharedFeatureStore", "shared_memory_available"]
+
+
+def shared_memory_available() -> bool:
+    """True when POSIX shared memory can actually be allocated here."""
+    try:
+        from multiprocessing import shared_memory
+
+        probe = shared_memory.SharedMemory(create=True, size=16)
+        probe.close()
+        probe.unlink()
+        return True
+    except Exception:
+        return False
+
+
+def _attach_untracked(name: str):
+    """Open an existing segment without resource-tracker registration.
+
+    Only the creating process may own (and later unlink) a segment.
+    Before Python 3.13 an attach also registered with the shared
+    resource tracker, so every worker of a forked pool would try to
+    clean up the same name at exit — keep the attach untracked instead
+    (``track=False`` where available, register-suppression otherwise).
+    """
+    from multiprocessing import shared_memory
+
+    try:
+        return shared_memory.SharedMemory(name=name, track=False)
+    except TypeError:  # Python < 3.13: no track parameter
+        pass
+    from multiprocessing import resource_tracker
+
+    original = resource_tracker.register
+    resource_tracker.register = lambda *a, **k: None
+    try:
+        return shared_memory.SharedMemory(name=name)
+    finally:
+        resource_tracker.register = original
+
+
+@dataclass(frozen=True)
+class StoreHandle:
+    """Picklable description of a published store (what tasks carry)."""
+
+    name: str
+    vectors_shape: tuple
+    vectors_dtype: str
+    labels_shape: tuple
+    labels_dtype: str
+
+    @property
+    def vectors_nbytes(self) -> int:
+        return int(np.prod(self.vectors_shape, dtype=np.int64)) * np.dtype(
+            self.vectors_dtype
+        ).itemsize
+
+    @property
+    def labels_nbytes(self) -> int:
+        return int(np.prod(self.labels_shape, dtype=np.int64)) * np.dtype(
+            self.labels_dtype
+        ).itemsize
+
+
+class SharedFeatureStore:
+    """One selection round's proxy vectors + labels in shared memory.
+
+    The parent creates the store with :meth:`publish` (or the
+    constructor), passes :attr:`handle` to workers, and calls
+    :meth:`unlink` once the round's results are assembled.  Workers call
+    :meth:`attach` and get zero-copy numpy views.  Both ends must
+    :meth:`close`; only the creating side may :meth:`unlink`.
+
+    A single segment holds vectors followed by labels, so one attach
+    maps the whole round's features.
+    """
+
+    def __init__(self, vectors: np.ndarray, labels: np.ndarray | None = None):
+        from multiprocessing import shared_memory
+
+        vectors = np.ascontiguousarray(vectors)
+        if labels is None:
+            labels = np.zeros(vectors.shape[0], dtype=np.int64)
+        labels = np.ascontiguousarray(labels)
+        if labels.shape[0] != vectors.shape[0]:
+            raise ValueError("labels must align with vectors rows")
+
+        nbytes = max(1, vectors.nbytes + labels.nbytes)
+        self._shm = shared_memory.SharedMemory(create=True, size=nbytes)
+        self._owner = True
+        self.handle = StoreHandle(
+            name=self._shm.name,
+            vectors_shape=tuple(vectors.shape),
+            vectors_dtype=vectors.dtype.str,
+            labels_shape=tuple(labels.shape),
+            labels_dtype=labels.dtype.str,
+        )
+        self.vectors = np.ndarray(
+            vectors.shape, dtype=vectors.dtype, buffer=self._shm.buf
+        )
+        self.vectors[...] = vectors
+        self.labels = np.ndarray(
+            labels.shape,
+            dtype=labels.dtype,
+            buffer=self._shm.buf,
+            offset=vectors.nbytes,
+        )
+        self.labels[...] = labels
+
+    # -- worker side ---------------------------------------------------------
+
+    @classmethod
+    def attach(cls, handle: StoreHandle) -> "SharedFeatureStore":
+        """Attach to a published store by handle (zero-copy views)."""
+        store = cls.__new__(cls)
+        store._shm = _attach_untracked(handle.name)
+        store._owner = False
+        store.handle = handle
+        store.vectors = np.ndarray(
+            handle.vectors_shape,
+            dtype=np.dtype(handle.vectors_dtype),
+            buffer=store._shm.buf,
+        )
+        store.labels = np.ndarray(
+            handle.labels_shape,
+            dtype=np.dtype(handle.labels_dtype),
+            buffer=store._shm.buf,
+            offset=handle.vectors_nbytes,
+        )
+        return store
+
+    # -- lifecycle -----------------------------------------------------------
+
+    def close(self) -> None:
+        """Drop this process's mapping (views become invalid)."""
+        self.vectors = None
+        self.labels = None
+        try:
+            self._shm.close()
+        except Exception:
+            pass
+
+    def unlink(self) -> None:
+        """Destroy the segment (creator only; attached workers unaffected)."""
+        if self._owner:
+            try:
+                self._shm.unlink()
+            except Exception:
+                pass
+
+    def __enter__(self) -> "SharedFeatureStore":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+        self.unlink()

@@ -1,8 +1,8 @@
 """Microbenchmark harness with regression checking for the hot-path kernels.
 
 Each bench is registered under a dotted name inside a group
-(``selection`` or ``nn``) and builds its inputs once, outside the timed
-region.  :func:`run_bench` runs warmup + repeated timed calls and reports
+(``selection``, ``nn``, or ``parallel``) and builds its inputs once,
+outside the timed region.  :func:`run_bench` runs warmup + repeated timed calls and reports
 median / p90 / min / mean wall-clock seconds.  Where the seed
 implementation of a kernel is still available (kept as a reference —
 ``naive_pairwise_distances``, ``lazy_greedy_reference``,
@@ -13,10 +13,13 @@ reproducible from one command::
     PYTHONPATH=src python -m repro.cli bench --group all
 
 Results serialize to JSON (``BENCH_selection.json`` / ``BENCH_nn.json``
-at the repo root are the committed baselines); :func:`compare` flags any
-bench whose median regressed beyond a tolerance, and ``repro.cli bench
---check`` exits non-zero on regression.  Timings on shared/noisy
-machines vary run-to-run, hence the generous default tolerance.
+/ ``BENCH_parallel.json`` at the repo root are the committed baselines);
+:func:`compare` flags any bench whose median regressed beyond a
+tolerance, and ``repro.cli bench --check`` exits non-zero on regression.
+Timings on shared/noisy machines vary run-to-run, hence the generous
+default tolerance.  Since schema v2 every case also records its
+``peak_rss_bytes`` (parent-process high-water mark, reset per case
+where the kernel allows).
 """
 
 from __future__ import annotations
@@ -42,9 +45,11 @@ __all__ = [
     "compare",
 ]
 
-GROUPS = ("selection", "nn")
+GROUPS = ("selection", "nn", "parallel")
 SIZES = ("tiny", "default")
 DEFAULT_TOLERANCE = 0.5
+SCHEMA_VERSION = 2  # v2 added peak_rss_bytes; compare() tolerates v1 docs
+PARALLEL_WORKER_COUNTS = (1, 2, 4, 8)
 
 
 @dataclass
@@ -54,12 +59,14 @@ class BenchCase:
     ``run`` is the optimized kernel under test; ``seed_run`` (optional)
     is the seed implementation on the same inputs, used to report the
     before/after speedup.  ``params`` records the input sizes for the
-    JSON output.
+    JSON output.  ``cleanup`` (optional) releases resources the case
+    holds open (e.g. the parallel engine's process pool) after timing.
     """
 
     run: Callable[[], object]
     seed_run: Callable[[], object] | None = None
     params: dict = field(default_factory=dict)
+    cleanup: Callable[[], None] | None = None
 
 
 @dataclass
@@ -77,14 +84,21 @@ class BenchResult:
     mean_s: float
     seed_median_s: float | None = None
     speedup_vs_seed: float | None = None
+    peak_rss_bytes: int | None = None
     params: dict = field(default_factory=dict)
 
 
 _REGISTRY: dict[str, tuple[str, Callable[[str], BenchCase]]] = {}
+_BENCH_WORKERS: dict[str, int] = {}  # parallel benches: pool size per name
 
 
-def register_bench(name: str, group: str):
-    """Decorator registering ``make(size) -> BenchCase`` under ``name``."""
+def register_bench(name: str, group: str, workers: int | None = None):
+    """Decorator registering ``make(size) -> BenchCase`` under ``name``.
+
+    ``workers`` tags benches that spin up a process pool of that size,
+    so ``run_group(..., max_workers=N)`` can skip fan-outs wider than
+    the machine (or the user's ``--workers`` cap) supports.
+    """
     if group not in GROUPS:
         raise ValueError(f"unknown bench group {group!r} (use one of {GROUPS})")
 
@@ -92,6 +106,8 @@ def register_bench(name: str, group: str):
         if name in _REGISTRY:
             raise ValueError(f"bench {name!r} already registered")
         _REGISTRY[name] = (group, make)
+        if workers is not None:
+            _BENCH_WORKERS[name] = workers
         return make
 
     return decorator
@@ -117,6 +133,37 @@ def _percentile(times: list[float], q: float) -> float:
     return float(np.percentile(np.asarray(times), q))
 
 
+def _reset_peak_rss() -> None:
+    """Reset the kernel's RSS high-water mark (Linux; best effort)."""
+    try:
+        with open("/proc/self/clear_refs", "w") as f:
+            f.write("5")
+    except OSError:
+        pass
+
+
+def _read_peak_rss_bytes() -> int | None:
+    """This process's peak RSS in bytes, or ``None`` when unreadable.
+
+    Reads ``VmHWM`` from ``/proc/self/status`` (resettable per bench via
+    :func:`_reset_peak_rss` on kernels that allow it); falls back to the
+    monotone ``ru_maxrss`` elsewhere, which then upper-bounds the case.
+    """
+    try:
+        with open("/proc/self/status") as f:
+            for line in f:
+                if line.startswith("VmHWM:"):
+                    return int(line.split()[1]) * 1024
+    except OSError:
+        pass
+    try:
+        import resource
+
+        return int(resource.getrusage(resource.RUSAGE_SELF).ru_maxrss) * 1024
+    except Exception:
+        return None
+
+
 def run_bench(
     name: str,
     size: str = "default",
@@ -134,15 +181,21 @@ def run_bench(
     group, make = _REGISTRY[name]
     case = make(size)
 
-    times = _time(case.run, repeats, warmup)
-    seed_median = None
-    speedup = None
-    if with_seed and case.seed_run is not None:
-        # The seed kernels are the slow side; half the repeats keeps the
-        # total bench wall-clock reasonable without hurting the median.
-        seed_times = _time(case.seed_run, max(1, repeats // 2), warmup)
-        seed_median = statistics.median(seed_times)
-        speedup = seed_median / statistics.median(times)
+    try:
+        _reset_peak_rss()
+        times = _time(case.run, repeats, warmup)
+        peak_rss = _read_peak_rss_bytes()
+        seed_median = None
+        speedup = None
+        if with_seed and case.seed_run is not None:
+            # The seed kernels are the slow side; half the repeats keeps the
+            # total bench wall-clock reasonable without hurting the median.
+            seed_times = _time(case.seed_run, max(1, repeats // 2), warmup)
+            seed_median = statistics.median(seed_times)
+            speedup = seed_median / statistics.median(times)
+    finally:
+        if case.cleanup is not None:
+            case.cleanup()
 
     return BenchResult(
         name=name,
@@ -156,6 +209,7 @@ def run_bench(
         mean_s=statistics.fmean(times),
         seed_median_s=seed_median,
         speedup_vs_seed=speedup,
+        peak_rss_bytes=peak_rss,
         params=case.params,
     )
 
@@ -166,17 +220,28 @@ def run_group(
     repeats: int = 5,
     warmup: int = 1,
     with_seed: bool = True,
+    max_workers: int | None = None,
 ) -> list[BenchResult]:
-    """Run every bench registered under ``group``."""
+    """Run every bench registered under ``group``.
+
+    ``max_workers`` skips benches whose registered pool size exceeds it
+    (the parallel group's 8-worker case on a 4-core box, say).
+    """
     return [
         run_bench(name, size=size, repeats=repeats, warmup=warmup, with_seed=with_seed)
         for name in registered_benches(group)
+        if max_workers is None or _BENCH_WORKERS.get(name, 1) <= max_workers
     ]
 
 
 def results_to_dict(results: list[BenchResult]) -> dict:
-    """Serializable document for one group's results."""
-    return {"schema": 1, "results": [asdict(r) for r in results]}
+    """Serializable document for one group's results (schema v2).
+
+    Schema history: v1 had no ``peak_rss_bytes``; v2 records it per
+    case.  :func:`compare` keys on medians only, so v1 baselines remain
+    comparable.
+    """
+    return {"schema": SCHEMA_VERSION, "results": [asdict(r) for r in results]}
 
 
 def write_results(path, results: list[BenchResult]) -> None:
@@ -187,9 +252,15 @@ def write_results(path, results: list[BenchResult]) -> None:
 
 
 def load_results(path) -> dict[str, dict]:
-    """Load a results JSON as ``{bench name: result dict}``."""
+    """Load a results JSON as ``{bench name: result dict}``.
+
+    Accepts schema v1 (pre-RSS) and v2 baselines; older documents simply
+    lack ``peak_rss_bytes``, which no comparison requires.
+    """
     with open(path) as f:
         doc = json.load(f)
+    if doc.get("schema") not in (1, SCHEMA_VERSION):
+        raise ValueError(f"unsupported bench schema {doc.get('schema')!r}")
     return {r["name"]: r for r in doc["results"]}
 
 
@@ -405,3 +476,125 @@ def _bench_conv2d_fwd_bwd(size: str) -> BenchCase:
         return _seed_conv2d_backward(grad_out, cols, x.shape, w, 1, 1)
 
     return BenchCase(run=run, seed_run=seed_run, params=params)
+
+
+# -- parallel group: the multi-core selection engine -------------------------
+#
+# The w1 case is the serial baseline on identical work units; wN cases
+# time the same round fanned over a persistent N-worker pool with the
+# proxy matrix in shared memory.  Speedup tracks physical cores — on a
+# 1-core CI box expect parity (pool overhead only), on a 4-core machine
+# the acceptance target is >= 2.5x for w4 (benchmarks/test_perf_regression.py
+# asserts it where the hardware allows).  Pools are created in the
+# warmup call and torn down by the case's cleanup hook.
+
+
+def _parallel_round_case(size: str, workers: int) -> BenchCase:
+    from repro.parallel.engine import SelectionExecutor, SelectionSpec
+    from repro.parallel.scheduler import plan_selection_round
+
+    n, d, classes, k, m = (
+        (2000, 10, 4, 300, 32) if size == "default" else (200, 8, 4, 40, 10)
+    )
+    rng = np.random.default_rng(6)
+    vectors = rng.normal(size=(n, d))
+    labels = np.sort(rng.integers(0, classes, size=n))
+    units = plan_selection_round(
+        labels, k, seed=0, round_index=0, chunk_select=m
+    )
+    spec = SelectionSpec()
+    executor = SelectionExecutor(workers)
+    return BenchCase(
+        run=lambda: executor.run_units(vectors, units, spec, labels=labels),
+        params={"n": n, "d": d, "classes": classes, "k": k,
+                "chunk_select": m, "workers": workers, "units": len(units)},
+        cleanup=executor.close,
+    )
+
+
+def _register_parallel_round(workers: int):
+    @register_bench(f"parallel.selection_round_w{workers}", "parallel",
+                    workers=workers)
+    def _bench(size: str, _w=workers) -> BenchCase:
+        return _parallel_round_case(size, _w)
+
+
+for _w in PARALLEL_WORKER_COUNTS:
+    _register_parallel_round(_w)
+
+
+@register_bench("parallel.store_attach", "parallel")
+def _bench_store_attach(size: str) -> BenchCase:
+    """Publish + attach + full-read round-trip of the shared-memory store.
+
+    The full read keeps the timing dominated by deterministic copy work
+    rather than by shm_open/mmap syscall jitter, which at sub-ms scale
+    is noisy enough to trip the regression tolerance on shared machines.
+    """
+    from repro.parallel.store import SharedFeatureStore
+
+    n, d = (20000, 32) if size == "default" else (200, 8)
+    vectors = np.random.default_rng(7).normal(size=(n, d))
+    labels = np.arange(n, dtype=np.int64)
+
+    def run():
+        store = SharedFeatureStore(vectors, labels)
+        try:
+            attached = SharedFeatureStore.attach(store.handle)
+            total = float(np.asarray(attached.vectors).sum())
+            attached.close()
+            return total
+        finally:
+            store.close()
+            store.unlink()
+
+    return BenchCase(run=run, params={"n": n, "d": d})
+
+
+def _proxy_cache_inputs(size: str):
+    from repro.nn.resnet import resnet20
+
+    n = 256 if size == "default" else 32
+    rng = np.random.default_rng(8)
+    x = rng.normal(size=(n, 3, 8, 8)).astype(np.float32)
+    y = rng.integers(0, 4, size=n)
+    ids = np.arange(n, dtype=np.int64)
+    model = resnet20(num_classes=4, width=4, seed=9)
+    return model, x, y, ids, {"n": n}
+
+
+@register_bench("parallel.proxy_cache_hit", "parallel")
+def _bench_proxy_cache_hit(size: str) -> BenchCase:
+    """Steady-state hit: unchanged weights + pool skip the forward pass."""
+    from repro.parallel.cache import ProxyCache
+    from repro.selection.gradients import compute_gradient_proxies
+
+    model, x, y, ids, params = _proxy_cache_inputs(size)
+    cache = ProxyCache(max_entries=2)
+    compute_gradient_proxies(model, x, y, ids=ids, cache=cache)  # warm
+
+    return BenchCase(
+        run=lambda: compute_gradient_proxies(model, x, y, ids=ids, cache=cache),
+        seed_run=lambda: compute_gradient_proxies(model, x, y, ids=ids),
+        params=params,
+    )
+
+
+@register_bench("parallel.proxy_cache_miss", "parallel")
+def _bench_proxy_cache_miss(size: str) -> BenchCase:
+    """Worst case: the pool alternates every round, so every lookup misses."""
+    from repro.parallel.cache import ProxyCache
+    from repro.selection.gradients import compute_gradient_proxies
+
+    model, x, y, ids, params = _proxy_cache_inputs(size)
+    cache = ProxyCache(max_entries=1)
+    pools = [ids, ids[::-1].copy()]
+    state = {"round": 0}
+
+    def run():
+        state["round"] += 1
+        return compute_gradient_proxies(
+            model, x, y, ids=pools[state["round"] % 2], cache=cache
+        )
+
+    return BenchCase(run=run, params=params)

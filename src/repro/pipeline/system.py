@@ -83,15 +83,22 @@ class SystemModel:
         cpu_gflops: float = 300.0,
         ingest: HostIngestModel | None = None,
         batch_size: int = 128,
+        selection_workers: int = 1,
     ):
         if isinstance(dataset, str):
             dataset = DATASETS[dataset]
+        if selection_workers < 1:
+            raise ValueError("selection_workers must be >= 1")
         self.dataset = dataset
         self.gpu = gpu or v100()
         self.ssd = ssd or SmartSSD()
         self.cpu_flops = cpu_gflops * 1e9
         self.ingest = ingest or HostIngestModel()
         self.batch_size = batch_size
+        # Host-CPU cores the parallel selection engine (repro.parallel)
+        # fans the per-class greedy over; the independent (class x chunk)
+        # units scale near-linearly, matching the FPGA's spatial lanes.
+        self.selection_workers = selection_workers
         self.forward_flops = MODEL_FORWARD_FLOPS[dataset.name]
         self.compute = GPUComputeModel(self.gpu)
 
@@ -152,7 +159,7 @@ class SystemModel:
         per_class = n / max(1, self.dataset.num_classes)
         k_class = k / max(1, self.dataset.num_classes)
         greedy_flops = self.dataset.num_classes * (per_class * k_class * 10 * 2)
-        select = proxy + greedy_flops / self.cpu_flops
+        select = proxy + greedy_flops / (self.cpu_flops * self.selection_workers)
         nbytes = float(self.dataset.total_bytes)
         return EpochTiming(
             method="craig",
@@ -171,7 +178,7 @@ class SystemModel:
         pool_ingest = self._ingest_images(n)
         proxy = self.compute.epoch_compute_time(n, self.forward_flops) / 3.0
         scan_flops = float(n) * k * 512 * 2
-        select = proxy + scan_flops / self.cpu_flops
+        select = proxy + scan_flops / (self.cpu_flops * self.selection_workers)
         nbytes = float(self.dataset.total_bytes)
         return EpochTiming(
             method="kcenters",

@@ -55,6 +55,7 @@ def craig_select_class(
     precision: str = "float64",
     block_size: int | None = None,
     memory_budget_bytes: int | None = None,
+    similarity_dtype_bytes: int = 4,
 ) -> tuple[np.ndarray, np.ndarray, int]:
     """Select ``k`` medoids from one class's proxy vectors.
 
@@ -66,9 +67,14 @@ def craig_select_class(
     entries, so the maximizers skip their ``O(N^2)`` validation scan.
 
     Returns ``(local_indices, weights, pairwise_bytes)`` where
-    ``pairwise_bytes`` is the similarity-matrix footprint (fp32), i.e. what
-    would have to fit in the FPGA's on-chip memory without partitioning.
+    ``pairwise_bytes`` is the similarity-matrix footprint at
+    ``similarity_dtype_bytes`` per entry (4 for the default fp32 path; the
+    config-driven value for float64 / int8-quantized similarity kernels),
+    i.e. what would have to fit in the FPGA's on-chip memory without
+    partitioning.
     """
+    if similarity_dtype_bytes < 1:
+        raise ValueError("similarity_dtype_bytes must be >= 1")
     n = vectors.shape[0]
     if n == 0:
         return (np.zeros(0, np.int64), np.zeros(0, np.float64), 0)
@@ -87,7 +93,7 @@ def craig_select_class(
     else:
         raise ValueError(f"unknown method {method!r} (use 'lazy' or 'stochastic')")
     weights = medoid_weights(similarity, sel)
-    pairwise_bytes = n * n * 4
+    pairwise_bytes = n * n * similarity_dtype_bytes
     return sel, weights, pairwise_bytes
 
 

@@ -60,6 +60,7 @@ def compute_gradient_proxies(
     ids: np.ndarray | None = None,
     batch_size: int = 256,
     mode: str = "logits",
+    cache=None,
 ) -> GradientProxy:
     """Run the selection model forward and derive per-sample proxies.
 
@@ -67,12 +68,24 @@ def compute_gradient_proxies(
     for the feature-norm mode, a ``features`` method — in practice either
     the live target model or its :class:`~repro.nn.quantize.QuantizedModel`
     snapshot.  Runs in eval mode semantics (no caching, no BN updates).
+
+    ``cache`` is an optional :class:`~repro.parallel.cache.ProxyCache`:
+    when the digest of the model's weights and the candidate-pool ids
+    matches a cached round (nothing changed between biasing drops), the
+    forward pass is skipped entirely and the cached proxy returned.
+    Models whose weights cannot be digested bypass the cache.
     """
     if mode not in ("logits", "logits_x_feature_norm"):
         raise ValueError(f"unknown proxy mode: {mode!r}")
     n = x.shape[0]
     if ids is None:
         ids = np.arange(n, dtype=np.int64)
+
+    cache_key = cache.key(model, ids, mode) if cache is not None else None
+    if cache_key is not None:
+        cached = cache.get(cache_key)
+        if cached is not None:
+            return cached
 
     inner = getattr(model, "model", model)
     was_training = getattr(inner, "training", False)
@@ -102,7 +115,10 @@ def compute_gradient_proxies(
     vectors = np.concatenate(vec_chunks).astype(np.float64)
     losses = np.concatenate(loss_chunks).astype(np.float64)
     flops = _forward_flops(inner, x.shape) * n
-    return GradientProxy(vectors=vectors, losses=losses, ids=np.asarray(ids), flops=flops)
+    proxy = GradientProxy(vectors=vectors, losses=losses, ids=np.asarray(ids), flops=flops)
+    if cache is not None:
+        cache.put(cache_key, proxy)
+    return proxy
 
 
 def _head(model):

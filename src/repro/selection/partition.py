@@ -17,7 +17,12 @@ from typing import Callable
 
 import numpy as np
 
-__all__ = ["partition_positions", "partitioned_select", "chunk_pairwise_bytes"]
+__all__ = [
+    "partition_positions",
+    "partitioned_select",
+    "plan_chunk_takes",
+    "chunk_pairwise_bytes",
+]
 
 
 def partition_positions(
@@ -34,8 +39,57 @@ def partition_positions(
 
 
 def chunk_pairwise_bytes(chunk_size: int, dtype_bytes: int = 4) -> int:
-    """On-chip bytes required for one chunk's similarity matrix."""
+    """On-chip bytes required for one chunk's similarity matrix.
+
+    ``dtype_bytes`` is the similarity-entry width — callers should pass
+    :attr:`repro.core.config.NeSSAConfig.similarity_dtype_bytes` (4 for
+    the fp32 path, 8 for float64 block-tiled selection, 1 for the int8
+    quantized-similarity kernel) rather than assuming fp32.
+    """
+    if dtype_bytes < 1:
+        raise ValueError("dtype_bytes must be >= 1")
     return chunk_size * chunk_size * dtype_bytes
+
+
+def plan_chunk_takes(chunk_sizes: list[int], k: int, chunk_select: int) -> list[int]:
+    """Per-chunk selection counts summing to exactly ``min(k, sum(sizes))``.
+
+    The paper's convention asks every chunk for ``m = chunk_select``
+    picks, but when ``k`` is not divisible by ``m`` — or when biasing
+    drops have left a chunk with fewer candidates than its quota — the
+    naive "last chunk absorbs the remainder" accounting can ask a chunk
+    for more picks than it has candidates.  This planner clamps each
+    chunk to its population and re-spreads any shortfall
+    deterministically (round-robin in chunk order over chunks with spare
+    capacity), so the total is exact for *any* size distribution and
+    independent of execution order.
+    """
+    if chunk_select < 1:
+        raise ValueError("chunk_select must be >= 1")
+    if any(s < 0 for s in chunk_sizes):
+        raise ValueError("chunk sizes must be non-negative")
+    k = min(k, int(sum(chunk_sizes)))
+    if k <= 0 or not chunk_sizes:
+        return [0] * len(chunk_sizes)
+
+    takes = []
+    remaining = k
+    for i, size in enumerate(chunk_sizes):
+        quota = remaining if i == len(chunk_sizes) - 1 else min(chunk_select, remaining)
+        take = min(quota, size)
+        takes.append(take)
+        remaining -= take
+    # Re-spread any shortfall over chunks that still have candidates.
+    while remaining > 0:
+        spread = False
+        for i, size in enumerate(chunk_sizes):
+            if remaining > 0 and takes[i] < size:
+                takes[i] += 1
+                remaining -= 1
+                spread = True
+        if not spread:  # pragma: no cover - k is clamped to sum(sizes)
+            break
+    return takes
 
 
 def partitioned_select(
@@ -52,7 +106,10 @@ def partitioned_select(
     :func:`repro.selection.craig.craig_select_class` partially applied.
     ``chunk_select`` is the per-chunk selection count *m* (defaults to the
     paper's mini-batch-size convention via ``k // num_chunks``); the number
-    of chunks is then ``ceil(k / m)``.
+    of chunks is then ``ceil(k / m)``.  Per-chunk quotas come from
+    :func:`plan_chunk_takes`, so the total is exactly ``min(k, n)`` even
+    when ``k`` is not divisible by ``m`` or a chunk is short of
+    candidates.
 
     Returns ``(indices, weights, max_chunk_pairwise_bytes)`` where the last
     term is the largest similarity matrix any chunk materialized — the
@@ -66,20 +123,16 @@ def partitioned_select(
     num_chunks = max(1, int(np.ceil(k / m)))
 
     chunks = partition_positions(n, num_chunks, rng)
+    takes = plan_chunk_takes([len(c) for c in chunks], k, m)
     indices, weights = [], []
     max_bytes = 0
-    remaining = k
-    for i, chunk in enumerate(chunks):
-        # Last chunk absorbs rounding so the total is exactly k.
-        take = min(m, remaining) if i < len(chunks) - 1 else remaining
-        take = min(take, len(chunk))
+    for chunk, take in zip(chunks, takes):
         if take <= 0:
             continue
         sel, w, nbytes = select_fn(vectors[chunk], take)
         indices.append(chunk[sel])
         weights.append(w)
         max_bytes = max(max_bytes, nbytes)
-        remaining -= take
     if not indices:
         return np.zeros(0, np.int64), np.zeros(0, np.float64), 0
     return np.concatenate(indices), np.concatenate(weights), max_bytes

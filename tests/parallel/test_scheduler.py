@@ -1,0 +1,140 @@
+"""Tests for the deterministic work-unit scheduler."""
+
+import numpy as np
+import pytest
+
+from repro.parallel.scheduler import WorkUnit, plan_selection_round, unit_rng
+from repro.selection.partition import plan_chunk_takes
+
+
+def _labels(rng, n=120, classes=4):
+    return rng.integers(0, classes, size=n)
+
+
+class TestPlanSelectionRound:
+    def test_units_partition_the_pool_per_class(self, rng):
+        labels = _labels(rng)
+        units = plan_selection_round(labels, 40, seed=0, round_index=0, chunk_select=8)
+        for label in np.unique(labels):
+            covered = np.concatenate(
+                [u.positions for u in units if u.label == label]
+            )
+            local = np.flatnonzero(labels == label)
+            # Chunks are disjoint and drawn only from the class's rows.
+            assert len(np.unique(covered)) == len(covered)
+            assert set(covered) <= set(local)
+
+    def test_takes_sum_matches_serial_accounting(self, rng):
+        labels = _labels(rng)
+        n = len(labels)
+        k_total = 40
+        units = plan_selection_round(labels, k_total, seed=0, round_index=0,
+                                     chunk_select=8)
+        for label in np.unique(labels):
+            local = np.flatnonzero(labels == label)
+            k_c = min(max(1, int(round(k_total * len(local) / n))), len(local))
+            got = sum(u.take for u in units if u.label == label)
+            assert got == k_c
+
+    def test_orders_are_contiguous_and_sorted(self, rng):
+        units = plan_selection_round(_labels(rng), 30, seed=1, round_index=2,
+                                     chunk_select=8)
+        assert [u.order for u in units] == list(range(len(units)))
+
+    def test_seed_keys_are_unique(self, rng):
+        units = plan_selection_round(_labels(rng), 40, seed=3, round_index=1,
+                                     chunk_select=8)
+        keys = {u.seed_key for u in units}
+        assert len(keys) == len(units)
+
+    def test_plan_is_pure_function_of_inputs(self, rng):
+        labels = _labels(rng)
+        a = plan_selection_round(labels, 40, seed=5, round_index=7, chunk_select=8)
+        b = plan_selection_round(labels, 40, seed=5, round_index=7, chunk_select=8)
+        assert len(a) == len(b)
+        for ua, ub in zip(a, b):
+            assert ua.seed_key == ub.seed_key
+            assert np.array_equal(ua.positions, ub.positions)
+            assert ua.take == ub.take
+
+    def test_round_index_changes_the_partition(self, rng):
+        labels = _labels(rng, n=200)
+        a = plan_selection_round(labels, 60, seed=5, round_index=0, chunk_select=8)
+        b = plan_selection_round(labels, 60, seed=5, round_index=1, chunk_select=8)
+        assert any(
+            not np.array_equal(ua.positions, ub.positions) for ua, ub in zip(a, b)
+        )
+
+    def test_no_partitioning_yields_one_unit_per_class(self, rng):
+        labels = _labels(rng)
+        units = plan_selection_round(labels, 40, seed=0, round_index=0)
+        assert len(units) == len(np.unique(labels))
+
+    def test_empty_pool_yields_no_units(self):
+        assert plan_selection_round(np.zeros(0, np.int64), 10, seed=0,
+                                    round_index=0) == []
+
+    def test_invalid_budgets_rejected(self, rng):
+        labels = _labels(rng)
+        with pytest.raises(ValueError):
+            plan_selection_round(labels, 0, seed=0, round_index=0)
+        with pytest.raises(ValueError):
+            plan_selection_round(labels, 10, seed=0, round_index=0, chunk_select=0)
+
+    def test_unit_validation(self):
+        with pytest.raises(ValueError):
+            WorkUnit(order=0, label=0, positions=np.arange(3), take=4,
+                     seed_key=(0, 0, 0, 0))
+        with pytest.raises(ValueError):
+            WorkUnit(order=0, label=0, positions=np.arange(3), take=-1,
+                     seed_key=(0, 0, 0, 0))
+
+
+class TestUnitRng:
+    def test_same_key_same_stream(self):
+        a = unit_rng((1, 2, 3, 4)).random(8)
+        b = unit_rng((1, 2, 3, 4)).random(8)
+        assert np.array_equal(a, b)
+
+    def test_different_keys_differ(self):
+        a = unit_rng((1, 2, 3, 4)).random(8)
+        b = unit_rng((1, 2, 3, 5)).random(8)
+        assert not np.array_equal(a, b)
+
+
+class TestPlanChunkTakes:
+    def test_exact_total_when_k_not_divisible(self):
+        # k=10, m=4 over chunks of 6: naive per-chunk m would overshoot.
+        takes = plan_chunk_takes([6, 6, 6], 10, 4)
+        assert sum(takes) == 10
+        assert all(t <= s for t, s in zip(takes, [6, 6, 6]))
+
+    def test_short_chunks_respread_deterministically(self):
+        # Chunk 1 can only supply 1; the shortfall must land elsewhere.
+        takes = plan_chunk_takes([5, 1, 5], 9, 4)
+        assert sum(takes) == 9
+        assert takes[1] <= 1
+
+    def test_pathological_uneven_sizes(self):
+        rng = np.random.default_rng(0)
+        for _ in range(200):
+            sizes = list(rng.integers(0, 12, size=rng.integers(1, 8)))
+            total = int(sum(sizes))
+            k = int(rng.integers(1, max(2, 2 * total)))
+            m = int(rng.integers(1, 10))
+            takes = plan_chunk_takes(sizes, k, m)
+            assert sum(takes) == min(k, total)
+            assert all(0 <= t <= s for t, s in zip(takes, sizes))
+
+    def test_k_larger_than_population_clamps(self):
+        assert plan_chunk_takes([3, 2], 99, 4) == [3, 2]
+
+    def test_zero_k_and_empty_chunks(self):
+        assert plan_chunk_takes([4, 4], 0, 2) == [0, 0]
+        assert plan_chunk_takes([], 5, 2) == []
+
+    def test_invalid_inputs_rejected(self):
+        with pytest.raises(ValueError):
+            plan_chunk_takes([4], 2, 0)
+        with pytest.raises(ValueError):
+            plan_chunk_takes([-1], 2, 2)

@@ -1,0 +1,75 @@
+"""Tests for the shared-memory feature store."""
+
+import pickle
+
+import numpy as np
+import pytest
+
+from repro.parallel.store import (
+    SharedFeatureStore,
+    StoreHandle,
+    shared_memory_available,
+)
+
+pytestmark = pytest.mark.skipif(
+    not shared_memory_available(), reason="POSIX shared memory unavailable"
+)
+
+
+class TestSharedFeatureStore:
+    def test_publish_and_attach_roundtrip(self):
+        vectors = np.random.default_rng(0).normal(size=(50, 6))
+        labels = np.arange(50, dtype=np.int64)
+        with SharedFeatureStore(vectors, labels) as store:
+            attached = SharedFeatureStore.attach(store.handle)
+            assert np.array_equal(attached.vectors, vectors)
+            assert np.array_equal(attached.labels, labels)
+            attached.close()
+
+    def test_attach_is_zero_copy_view(self):
+        vectors = np.zeros((10, 3))
+        with SharedFeatureStore(vectors) as store:
+            attached = SharedFeatureStore.attach(store.handle)
+            store.vectors[3, 1] = 42.0  # write through the owner's view
+            assert attached.vectors[3, 1] == 42.0
+            attached.close()
+
+    def test_bits_survive_the_store_exactly(self):
+        # float64 payloads must come back bit-identical (the determinism
+        # contract depends on it).
+        vectors = np.random.default_rng(1).normal(size=(40, 8)) * 1e-7
+        with SharedFeatureStore(vectors) as store:
+            attached = SharedFeatureStore.attach(store.handle)
+            assert vectors.tobytes() == np.asarray(attached.vectors).tobytes()
+            attached.close()
+
+    def test_handle_is_small_and_picklable(self):
+        vectors = np.zeros((1000, 16))
+        with SharedFeatureStore(vectors) as store:
+            payload = pickle.dumps(store.handle)
+            assert len(payload) < 1024  # the point: tasks never carry arrays
+            handle = pickle.loads(payload)
+            assert isinstance(handle, StoreHandle)
+            assert handle.vectors_shape == (1000, 16)
+            assert handle.vectors_nbytes == 1000 * 16 * 8
+
+    def test_default_labels_align_with_rows(self):
+        with SharedFeatureStore(np.zeros((7, 2))) as store:
+            assert store.labels.shape == (7,)
+
+    def test_misaligned_labels_rejected(self):
+        with pytest.raises(ValueError):
+            SharedFeatureStore(np.zeros((5, 2)), labels=np.zeros(4, dtype=np.int64))
+
+    def test_unlink_by_owner_removes_segment(self):
+        store = SharedFeatureStore(np.zeros((4, 2)))
+        name = store.handle.name
+        handle = store.handle
+        store.close()
+        store.unlink()
+        with pytest.raises(FileNotFoundError):
+            SharedFeatureStore.attach(handle)
+        assert name  # segment name existed
+
+    def test_availability_probe(self):
+        assert shared_memory_available() is True

@@ -64,7 +64,23 @@ class TestResultsIO:
         loaded = bench.load_results(path)
         assert loaded["nn.im2col"]["median_s"] == results[0].median_s
         doc = json.loads(path.read_text())
-        assert doc["schema"] == 1
+        assert doc["schema"] == 2
+        assert "peak_rss_bytes" in doc["results"][0]
+
+    def test_loads_schema_1_baseline_without_rss(self, tmp_path):
+        path = tmp_path / "BENCH_old.json"
+        path.write_text(json.dumps(
+            {"schema": 1, "results": [{"name": "a", "median_s": 1.0}]}
+        ))
+        loaded = bench.load_results(path)
+        assert loaded["a"]["median_s"] == 1.0
+        assert "peak_rss_bytes" not in loaded["a"]
+
+    def test_unknown_schema_rejected(self, tmp_path):
+        path = tmp_path / "BENCH_bad.json"
+        path.write_text(json.dumps({"schema": 99, "results": []}))
+        with pytest.raises(ValueError):
+            bench.load_results(path)
 
 
 def _result(name, median):
