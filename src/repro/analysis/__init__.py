@@ -1,0 +1,34 @@
+"""``repro.analysis`` — the AST lint engine enforcing repo invariants.
+
+The reproduction's trustworthiness rests on invariants no unit test
+watches continuously: selection must be deterministic for any worker
+count (PR 2), allocated dtypes must match the ``similarity_precision``
+byte accounting (PR 1), shared-memory segments must never leak, errors
+must not be silently swallowed, and nn forward shapes must compose.
+This package machine-checks them with a stdlib-``ast`` engine:
+
+- :mod:`repro.analysis.engine` — file walker + per-file visitor pipeline;
+- :mod:`repro.analysis.registry` — checker registry (one class per rule);
+- :mod:`repro.analysis.rules` — the NES001–NES005 rule implementations;
+- :mod:`repro.analysis.findings` — structured findings + fingerprints;
+- :mod:`repro.analysis.baseline` — grandfathered-finding baseline file.
+
+Entry point: ``python -m repro.cli lint`` (see ``--help``); inline
+suppression: ``# lint: allow-<pragma>(reason)`` with a mandatory reason.
+"""
+
+from repro.analysis.baseline import load_baseline, partition_findings, write_baseline
+from repro.analysis.engine import lint_paths, lint_source
+from repro.analysis.findings import Finding
+from repro.analysis.registry import all_checkers, rule_ids
+
+__all__ = [
+    "Finding",
+    "all_checkers",
+    "rule_ids",
+    "lint_paths",
+    "lint_source",
+    "load_baseline",
+    "write_baseline",
+    "partition_findings",
+]

@@ -1,0 +1,83 @@
+"""Baseline file: grandfathered findings the lint run tolerates.
+
+The baseline is a committed JSON document listing findings that predate
+a rule (or are deliberate and justified) so ``lint`` can gate on *new*
+findings only.  Matching is multiplicity-aware on ``(rule, path,
+fingerprint)``: two identical offending lines in one file need two
+baseline entries, and a baselined line that is edited (its text changes)
+stops matching and resurfaces.
+
+Workflow: run ``repro.cli lint --write-baseline`` to snapshot current
+findings, then edit each entry's ``justification`` (the writer stamps a
+TODO); CI runs ``lint`` against the committed file and fails on anything
+not covered.
+"""
+
+from __future__ import annotations
+
+import json
+from collections import Counter
+
+from repro.analysis.findings import Finding
+
+__all__ = ["load_baseline", "write_baseline", "partition_findings", "BASELINE_VERSION"]
+
+BASELINE_VERSION = 1
+
+
+def load_baseline(path: str) -> Counter:
+    """Load a baseline into a ``(rule, path, fingerprint) -> count`` counter."""
+    with open(path, encoding="utf-8") as f:
+        doc = json.load(f)
+    if doc.get("version") != BASELINE_VERSION:
+        raise ValueError(
+            f"unsupported baseline version {doc.get('version')!r} in {path} "
+            f"(expected {BASELINE_VERSION})"
+        )
+    allowed: Counter = Counter()
+    for entry in doc.get("findings", []):
+        allowed[(entry["rule"], entry["path"], entry["fingerprint"])] += 1
+    return allowed
+
+
+def write_baseline(path: str, findings: list[Finding]) -> None:
+    """Snapshot ``findings`` as a baseline (justifications left as TODOs)."""
+    doc = {
+        "version": BASELINE_VERSION,
+        "findings": [
+            {
+                "rule": f.rule,
+                "path": f.path,
+                "line": f.line,
+                "fingerprint": f.fingerprint,
+                "message": f.message,
+                "justification": "TODO: justify or fix",
+            }
+            for f in sorted(findings, key=Finding.sort_key)
+        ],
+    }
+    with open(path, "w", encoding="utf-8") as f:
+        json.dump(doc, f, indent=2)
+        f.write("\n")
+
+
+def partition_findings(
+    findings: list[Finding], allowed: Counter
+) -> tuple[list[Finding], int]:
+    """Split findings into (new, number matched by the baseline).
+
+    Consumes baseline multiplicity greedily in source order, so a file
+    with one baselined and one new identical violation reports exactly
+    one new finding.
+    """
+    budget = Counter(allowed)
+    new: list[Finding] = []
+    matched = 0
+    for f in sorted(findings, key=Finding.sort_key):
+        key = (f.rule, f.path, f.fingerprint)
+        if budget[key] > 0:
+            budget[key] -= 1
+            matched += 1
+        else:
+            new.append(f)
+    return new, matched

@@ -1,0 +1,21 @@
+"""Rule modules; importing this package registers every checker.
+
+| rule   | pragma                 | invariant |
+|--------|------------------------|-----------|
+| NES001 | allow-determinism      | no global-state randomness in selection/parallel/nn |
+| NES002 | allow-implicit-float64 | allocations in dtype-accounted modules name their dtype |
+| NES003 | allow-broad-except     | broad handlers re-raise, log, or justify themselves |
+| NES004 | allow-shm-lifecycle    | shm segments released on all exit paths |
+| NES005 | allow-shape-contract   | public nn forwards carry composing shape contracts |
+
+(NES000 is the engine's parse-failure pseudo-rule; it has no pragma and
+cannot be baselined.)
+"""
+
+from repro.analysis.rules import (  # noqa: F401 - imports register checkers
+    determinism,
+    exceptions,
+    precision,
+    shape,
+    shm,
+)

@@ -1,0 +1,47 @@
+"""Shared AST helpers for the rule modules."""
+
+from __future__ import annotations
+
+import ast
+
+__all__ = ["dotted_name", "in_module", "numpy_aliases", "module_aliases"]
+
+
+def dotted_name(node: ast.AST) -> str | None:
+    """``a.b.c`` for Name/Attribute chains, else ``None``."""
+    parts: list[str] = []
+    while isinstance(node, ast.Attribute):
+        parts.append(node.attr)
+        node = node.value
+    if isinstance(node, ast.Name):
+        parts.append(node.id)
+        return ".".join(reversed(parts))
+    return None
+
+
+def in_module(path: str, prefixes: tuple[str, ...]) -> bool:
+    """Does the recorded path fall inside any of the package prefixes?
+
+    Prefixes are path fragments like ``"repro/selection/"`` or exact
+    file suffixes like ``"repro/smartssd/kernel.py"``; matching is on
+    the posix recorded path, so it works for both the repo tree
+    (``src/repro/...``) and test fixture trees (``fixtures/repro/...``).
+    """
+    return any(p in path for p in prefixes)
+
+
+def module_aliases(tree: ast.Module, module: str) -> set[str]:
+    """Names the file binds to ``module`` (``import numpy as np`` -> np)."""
+    aliases: set[str] = set()
+    for node in ast.walk(tree):
+        if isinstance(node, ast.Import):
+            for alias in node.names:
+                if alias.name == module:
+                    aliases.add(alias.asname or alias.name.split(".")[0])
+    return aliases
+
+
+def numpy_aliases(tree: ast.Module) -> set[str]:
+    """Aliases for numpy in this file (defaults to {"np", "numpy"})."""
+    aliases = module_aliases(tree, "numpy")
+    return aliases or {"np", "numpy"}

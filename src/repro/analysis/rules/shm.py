@@ -1,0 +1,164 @@
+"""NES004 — shared-memory segments must be released on every exit path.
+
+A POSIX shared-memory segment (``multiprocessing.shared_memory
+.SharedMemory`` or our :class:`~repro.parallel.store.SharedFeatureStore`)
+outlives the process that forgets it: a selection round that raises
+between ``SharedMemory(create=True)`` and ``unlink()`` leaks the segment
+in ``/dev/shm`` until reboot.  This dataflow check requires every
+creation bound in a function scope to be released on *all* exits — via a
+``with`` block or a ``close()`` in a ``finally`` suite.
+
+Ownership-transfer shapes are exempt: binding to ``self.<attr>``
+(lifecycle belongs to the object's own close/unlink methods), returning
+the object (the caller owns it), or creating it directly inside a
+``return`` expression.
+"""
+
+from __future__ import annotations
+
+import ast
+
+from repro.analysis.registry import Checker, register
+from repro.analysis.rules._util import dotted_name
+
+_CREATOR_TAILS = {"SharedMemory", "SharedFeatureStore", "SharedFeatureStore.attach"}
+
+
+def _own_nodes(func: ast.AST):
+    """Nodes belonging to ``func`` itself, excluding nested function bodies
+    (those scopes are visited on their own and must not be double-reported)."""
+    stack = list(ast.iter_child_nodes(func))
+    while stack:
+        node = stack.pop()
+        yield node
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef, ast.Lambda)):
+            continue
+        stack.extend(ast.iter_child_nodes(node))
+
+
+def _is_creation(node: ast.AST) -> bool:
+    if not isinstance(node, ast.Call):
+        return False
+    name = dotted_name(node.func)
+    if name is None:
+        return False
+    return any(
+        name == tail or name.endswith("." + tail) for tail in _CREATOR_TAILS
+    )
+
+
+def _name_released_in_finally(func: ast.AST, name: str) -> bool:
+    for node in ast.walk(func):
+        if not isinstance(node, ast.Try) or not node.finalbody:
+            continue
+        for inner in node.finalbody:
+            for sub in ast.walk(inner):
+                if (
+                    isinstance(sub, ast.Attribute)
+                    and sub.attr in ("close", "unlink")
+                    and isinstance(sub.value, ast.Name)
+                    and sub.value.id == name
+                ):
+                    return True
+    return False
+
+
+def _name_is_returned(func: ast.AST, name: str) -> bool:
+    """True when the object itself is handed to the caller.
+
+    Only a *direct* return of the name (possibly inside a tuple/list)
+    transfers ownership; ``return store.vectors.sum()`` merely reads
+    through the object and still leaks its segment.
+    """
+    for node in ast.walk(func):
+        if not isinstance(node, ast.Return) or node.value is None:
+            continue
+        candidates = (
+            node.value.elts
+            if isinstance(node.value, (ast.Tuple, ast.List))
+            else [node.value]
+        )
+        for sub in candidates:
+            if isinstance(sub, ast.Name) and sub.id == name:
+                return True
+    return False
+
+
+def _with_context_creations(func: ast.AST) -> set[ast.Call]:
+    managed: set[ast.Call] = set()
+    for node in ast.walk(func):
+        if isinstance(node, (ast.With, ast.AsyncWith)):
+            for item in node.items:
+                for sub in ast.walk(item.context_expr):
+                    if isinstance(sub, ast.Call):
+                        managed.add(sub)
+    return managed
+
+
+def _returned_creations(func: ast.AST) -> set[ast.Call]:
+    returned: set[ast.Call] = set()
+    for node in ast.walk(func):
+        if isinstance(node, ast.Return) and node.value is not None:
+            for sub in ast.walk(node.value):
+                if isinstance(sub, ast.Call):
+                    returned.add(sub)
+    return returned
+
+
+@register
+class ShmLifecycleChecker(Checker):
+    rule = "NES004"
+    pragma = "shm-lifecycle"
+    description = (
+        "SharedMemory/SharedFeatureStore creation not paired with "
+        "close()/unlink() on all exit paths (with block or try/finally)"
+    )
+
+    def check(self, ctx):
+        for func in ast.walk(ctx.tree):
+            if not isinstance(func, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                continue
+            managed = _with_context_creations(func)
+            returned = _returned_creations(func)
+            own = list(_own_nodes(func))
+            for node in own:
+                if not isinstance(node, ast.Assign):
+                    continue
+                if not _is_creation(node.value) or node.value in managed:
+                    continue
+                # self.<attr> = creation: lifecycle owned by the object.
+                if all(isinstance(t, ast.Attribute) for t in node.targets):
+                    continue
+                targets = [t for t in node.targets if isinstance(t, ast.Name)]
+                if not targets:
+                    continue
+                name = targets[0].id
+                if _name_released_in_finally(func, name):
+                    continue
+                if _name_is_returned(func, name):
+                    continue  # ownership transferred to the caller
+                yield self.finding(
+                    ctx,
+                    node,
+                    f"shared-memory object {name!r} may leak its segment: "
+                    "no close()/unlink() on all exit paths",
+                    hint="wrap in `with`, or release in a try/finally "
+                    "(close() in the finally suite)",
+                )
+            # Creations used as bare expressions (not bound, not returned,
+            # not context-managed) always leak.
+            for node in own:
+                if (
+                    isinstance(node, ast.Expr)
+                    and _is_creation(node.value)
+                    and node.value not in managed
+                    and node.value not in returned
+                ):
+                    yield self.finding(
+                        ctx,
+                        node,
+                        "shared-memory segment created and immediately "
+                        "dropped: nothing can ever release it",
+                        hint="bind it and release in try/finally, or use "
+                        "a with block",
+                    )

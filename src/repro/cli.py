@@ -9,6 +9,9 @@ Commands
 ``scaling``  the multi-SmartSSD scaling curve (the paper's future work).
 ``bench``    run the hot-path microbenchmarks; ``--check`` compares to the
              committed BENCH_*.json baselines and exits non-zero on regression.
+``lint``     run the repro.analysis static invariant checks (NES001-NES005)
+             against the source tree; exits non-zero on findings not covered
+             by the committed baseline.
 """
 
 from __future__ import annotations
@@ -182,6 +185,63 @@ def _cmd_bench(args) -> int:
     return 0
 
 
+def _cmd_lint(args) -> int:
+    import json
+    import os
+
+    from repro.analysis import (
+        all_checkers,
+        lint_paths,
+        load_baseline,
+        partition_findings,
+        write_baseline,
+    )
+
+    if args.list_rules:
+        for checker in all_checkers():
+            print(f"{checker.rule}  allow-{checker.pragma:18s} {checker.description}")
+        return 0
+
+    select = set(args.select.split(",")) if args.select else None
+    ignore = set(args.ignore.split(",")) if args.ignore else None
+    try:
+        findings, suppressed = lint_paths(args.paths, select=select, ignore=ignore)
+    except FileNotFoundError as exc:
+        print(f"lint: {exc}")
+        return 2
+
+    matched = 0
+    if args.write_baseline:
+        write_baseline(args.baseline, findings)
+        print(
+            f"wrote {len(findings)} finding(s) to {args.baseline} — "
+            "edit each entry's justification before committing"
+        )
+        return 0
+    if not args.no_baseline and os.path.exists(args.baseline):
+        findings, matched = partition_findings(findings, load_baseline(args.baseline))
+
+    if args.format == "json":
+        print(
+            json.dumps(
+                {
+                    "findings": [f.to_dict() for f in findings],
+                    "baseline_matched": matched,
+                    "suppressed": len(suppressed),
+                },
+                indent=2,
+            )
+        )
+    else:
+        for f in findings:
+            print(f.render())
+        print(
+            f"lint: {len(findings)} new finding(s), {matched} baselined, "
+            f"{len(suppressed)} pragma-suppressed"
+        )
+    return 1 if findings else 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(prog="repro", description=__doc__)
     sub = parser.add_subparsers(dest="command", required=True)
@@ -238,6 +298,23 @@ def build_parser() -> argparse.ArgumentParser:
     bench.add_argument("--workers", type=int, default=None,
                        help="skip parallel benches needing more workers than this")
 
+    lint = sub.add_parser("lint", help="run the static invariant checks")
+    lint.add_argument("paths", nargs="*", default=["src"],
+                      help="files/directories to lint (default: src)")
+    lint.add_argument("--format", choices=["text", "json"], default="text")
+    lint.add_argument("--baseline", default="LINT_BASELINE.json",
+                      help="baseline file of grandfathered findings")
+    lint.add_argument("--no-baseline", action="store_true",
+                      help="report every finding, ignoring the baseline")
+    lint.add_argument("--write-baseline", action="store_true",
+                      help="snapshot current findings into --baseline and exit 0")
+    lint.add_argument("--select", default=None, metavar="RULES",
+                      help="comma-separated rule ids to run (e.g. NES001,NES003)")
+    lint.add_argument("--ignore", default=None, metavar="RULES",
+                      help="comma-separated rule ids to skip")
+    lint.add_argument("--list-rules", action="store_true",
+                      help="print the rule table and exit")
+
     return parser
 
 
@@ -250,6 +327,7 @@ def main(argv=None) -> int:
         "kernel": _cmd_kernel,
         "scaling": _cmd_scaling,
         "bench": _cmd_bench,
+        "lint": _cmd_lint,
     }
     return handlers[args.command](args)
 

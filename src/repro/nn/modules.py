@@ -14,6 +14,7 @@ from typing import Iterator
 import numpy as np
 
 from repro.nn import functional as F
+from repro.nn.contracts import shape_contract
 
 __all__ = [
     "Parameter",
@@ -199,6 +200,7 @@ class Conv2d(Module):
         self.bias = Parameter(np.zeros(out_channels), name="conv.bias") if bias else None
         self._cache: tuple | None = None
 
+    @shape_contract("N,C,H,W -> N,K,H',W'")
     def forward(self, x: np.ndarray) -> np.ndarray:
         bias = self.bias.data if self.bias is not None else None
         out, cols = F.conv2d(x, self.weight.data, bias, self.stride, self.padding)
@@ -253,6 +255,7 @@ class Linear(Module):
         self.bias = Parameter(np.zeros(out_features), name="linear.bias") if bias else None
         self._cache: np.ndarray | None = None
 
+    @shape_contract("N,F -> N,G")
     def forward(self, x: np.ndarray) -> np.ndarray:
         if self.training:
             self._cache = x
@@ -290,6 +293,7 @@ class BatchNorm2d(Module):
         self._buffers = ("running_mean", "running_var")
         self._cache: tuple | None = None
 
+    @shape_contract("N,C,H,W -> N,C,H,W")
     def forward(self, x: np.ndarray) -> np.ndarray:
         if self.training:
             mean = x.mean(axis=(0, 2, 3))
@@ -341,6 +345,7 @@ class ReLU(Module):
         super().__init__()
         self._cache: np.ndarray | None = None
 
+    @shape_contract("* -> *")
     def forward(self, x: np.ndarray) -> np.ndarray:
         if self.training:
             self._cache = x
@@ -363,6 +368,7 @@ class MaxPool2d(Module):
         self.stride = stride or kernel_size
         self._cache: tuple | None = None
 
+    @shape_contract("N,C,H,W -> N,C,H',W'")
     def forward(self, x: np.ndarray) -> np.ndarray:
         out, argmax = F.max_pool2d(x, self.kernel_size, self.stride)
         if self.training:
@@ -386,6 +392,7 @@ class AvgPool2d(Module):
         self.stride = stride or kernel_size
         self._cache: tuple | None = None
 
+    @shape_contract("N,C,H,W -> N,C,H',W'")
     def forward(self, x: np.ndarray) -> np.ndarray:
         if self.training:
             self._cache = x.shape
@@ -406,6 +413,7 @@ class GlobalAvgPool2d(Module):
         super().__init__()
         self._cache: tuple | None = None
 
+    @shape_contract("N,C,H,W -> N,C")
     def forward(self, x: np.ndarray) -> np.ndarray:
         if self.training:
             self._cache = x.shape
@@ -427,6 +435,7 @@ class Flatten(Module):
         super().__init__()
         self._cache: tuple | None = None
 
+    @shape_contract("N,... -> N,F")
     def forward(self, x: np.ndarray) -> np.ndarray:
         if self.training:
             self._cache = x.shape
@@ -443,6 +452,7 @@ class Flatten(Module):
 class Identity(Module):
     """No-op module (used for residual shortcuts with matching shapes)."""
 
+    @shape_contract("* -> *")
     def forward(self, x: np.ndarray) -> np.ndarray:
         return x
 
@@ -457,6 +467,7 @@ class Sequential(Module):
         super().__init__()
         self.layers = list(layers)
 
+    @shape_contract("* -> *")
     def forward(self, x: np.ndarray) -> np.ndarray:
         for layer in self.layers:
             x = layer(x)

@@ -16,6 +16,7 @@ from __future__ import annotations
 
 import numpy as np
 
+from repro.nn.contracts import shape_contract
 from repro.nn.modules import Module
 
 __all__ = ["quantize_tensor", "dequantize_tensor", "QuantizedModel", "quantized_state_bytes"]
@@ -128,6 +129,7 @@ class QuantizedModel:
         self.synced = True
         return quantized_state_bytes(source, self.bits)
 
+    @shape_contract("N,C,H,W -> N,L")
     def forward(self, x: np.ndarray) -> np.ndarray:
         self.model.eval()
         if self.activation_bits is None or not hasattr(self.model, "stages"):

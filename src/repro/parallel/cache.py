@@ -48,7 +48,11 @@ def model_weights_digest(model) -> str | None:
             for name, buf in named_buffers():
                 h.update(name.encode())
                 h.update(np.ascontiguousarray(buf).tobytes())
-    except Exception:
+    except (TypeError, ValueError, AttributeError):
+        # Duck-typed models whose parameters are not array-convertible
+        # (or whose iterators have the wrong shape) cannot be digested —
+        # the caller then bypasses the cache.  Genuine errors in *our*
+        # models must propagate rather than silently disable caching.
         return None
     return h.hexdigest()
 

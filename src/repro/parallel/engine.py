@@ -146,6 +146,7 @@ class SelectionExecutor:
                 method = "fork" if "fork" in mp.get_all_start_methods() else None
             ctx = mp.get_context(method)
             self._pool = ctx.Pool(processes=self.workers)
+        # lint: allow-broad-except(pool start fails for platform-specific reasons; the serial fallback is the designed response and the error is recorded in fallback_reason)
         except Exception as exc:  # pragma: no cover - platform dependent
             self.fallback_reason = f"process pool unavailable: {exc}"
             self._pool = None
@@ -223,5 +224,6 @@ class SelectionExecutor:
     def __del__(self):  # pragma: no cover - interpreter-shutdown dependent
         try:
             self.close()
+        # lint: allow-broad-except(__del__ during interpreter teardown: modules may be half-gone and there is no caller to report to)
         except Exception:
             pass

@@ -160,7 +160,9 @@ def _read_peak_rss_bytes() -> int | None:
         import resource
 
         return int(resource.getrusage(resource.RUSAGE_SELF).ru_maxrss) * 1024
-    except Exception:
+    except (ImportError, AttributeError, OSError, ValueError):
+        # No resource module (non-unix), no RUSAGE_SELF, or an unreadable
+        # rusage: peak RSS is simply unavailable on this platform.
         return None
 
 
@@ -541,9 +543,10 @@ def _bench_store_attach(size: str) -> BenchCase:
         store = SharedFeatureStore(vectors, labels)
         try:
             attached = SharedFeatureStore.attach(store.handle)
-            total = float(np.asarray(attached.vectors).sum())
-            attached.close()
-            return total
+            try:
+                return float(np.asarray(attached.vectors).sum())
+            finally:
+                attached.close()
         finally:
             store.close()
             store.unlink()

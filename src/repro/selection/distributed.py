@@ -100,8 +100,10 @@ def greedi_select(
     full_sim = pairwise_similarity(vectors)
     pool_sim = full_sim[:, pool]  # (n, |pool|) coverage matrix
 
-    # Greedy on the rectangular coverage matrix.
-    current = np.zeros(n)
+    # Greedy on the rectangular coverage matrix.  The accumulator must
+    # match the similarity dtype: an implicit float64 here would upcast
+    # every gain computation regardless of the configured precision.
+    current = np.zeros(n, dtype=pool_sim.dtype)
     chosen: list[int] = []
     available = np.ones(len(pool), dtype=bool)
     for _ in range(min(k, len(pool))):

@@ -104,7 +104,7 @@ class ForgettingEventsSelector:
 
     def scores(self, ids: np.ndarray) -> np.ndarray:
         """Forgetting score: count, with never-learned samples ranked first."""
-        out = np.empty(len(ids))
+        out = np.empty(len(ids), dtype=np.float64)
         for i, sample_id in enumerate(ids):
             key = int(sample_id)
             if not self._ever_correct.get(key, False):

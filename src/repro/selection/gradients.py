@@ -136,7 +136,10 @@ def _forward_flops(model, x_shape: tuple) -> float:
         from repro.perf.flops import model_forward_flops
 
         return model_forward_flops(model, x_shape[1:])
-    except Exception:
-        # perf model unavailable for exotic models: charge 2 FLOPs/param.
+    except (ImportError, TypeError, ValueError, AttributeError):
+        # The perf model raises TypeError for module types it cannot walk
+        # and ValueError for non-(C,H,W) shapes — i.e. exotic models, for
+        # which we charge the generic 2 FLOPs/param instead.  Anything
+        # else (a bug in the walker) must surface, not be absorbed here.
         num_params = getattr(model, "num_parameters", lambda: 0)()
         return 2.0 * num_params

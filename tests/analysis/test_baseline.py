@@ -1,0 +1,88 @@
+"""Baseline round-trip: snapshot, match, resurface-on-edit, multiplicity."""
+
+import json
+
+import pytest
+
+from repro.analysis import (
+    lint_paths,
+    load_baseline,
+    partition_findings,
+    write_baseline,
+)
+
+BAD_EXCEPT = "try:\n    work()\nexcept Exception:\n    pass\n"
+
+
+def _lint(tmp_path):
+    findings, _ = lint_paths([str(tmp_path)])
+    return findings
+
+
+class TestRoundTrip:
+    def test_snapshot_then_clean(self, tmp_path):
+        (tmp_path / "bad.py").write_text(BAD_EXCEPT)
+        findings = _lint(tmp_path)
+        assert len(findings) == 1
+
+        baseline = tmp_path / "baseline.json"
+        write_baseline(str(baseline), findings)
+        new, matched = partition_findings(findings, load_baseline(str(baseline)))
+        assert new == []
+        assert matched == 1
+
+    def test_writer_stamps_todo_justification(self, tmp_path):
+        (tmp_path / "bad.py").write_text(BAD_EXCEPT)
+        baseline = tmp_path / "baseline.json"
+        write_baseline(str(baseline), _lint(tmp_path))
+        doc = json.loads(baseline.read_text())
+        assert doc["version"] == 1
+        assert all("justif" in e["justification"].lower() or "TODO" in e["justification"]
+                   for e in doc["findings"])
+
+    def test_edited_line_resurfaces(self, tmp_path):
+        """Fingerprints hash line content, so an edit voids the entry."""
+        (tmp_path / "bad.py").write_text(BAD_EXCEPT)
+        baseline = tmp_path / "baseline.json"
+        write_baseline(str(baseline), _lint(tmp_path))
+
+        (tmp_path / "bad.py").write_text(
+            "try:\n    work()\nexcept (Exception, OSError):\n    pass\n"
+        )
+        new, matched = partition_findings(
+            _lint(tmp_path), load_baseline(str(baseline))
+        )
+        assert len(new) == 1
+        assert matched == 0
+
+    def test_moved_line_still_matches(self, tmp_path):
+        """Same content at a new line number still matches (line-tolerant)."""
+        (tmp_path / "bad.py").write_text(BAD_EXCEPT)
+        baseline = tmp_path / "baseline.json"
+        write_baseline(str(baseline), _lint(tmp_path))
+
+        (tmp_path / "bad.py").write_text("# a new leading comment\n" + BAD_EXCEPT)
+        new, matched = partition_findings(
+            _lint(tmp_path), load_baseline(str(baseline))
+        )
+        assert new == []
+        assert matched == 1
+
+    def test_multiplicity_is_respected(self, tmp_path):
+        """Two identical violations need two entries — one entry covers one."""
+        (tmp_path / "bad.py").write_text(BAD_EXCEPT)
+        baseline = tmp_path / "baseline.json"
+        write_baseline(str(baseline), _lint(tmp_path))
+
+        (tmp_path / "bad.py").write_text(BAD_EXCEPT + BAD_EXCEPT)
+        new, matched = partition_findings(
+            _lint(tmp_path), load_baseline(str(baseline))
+        )
+        assert len(new) == 1
+        assert matched == 1
+
+    def test_version_mismatch_rejected(self, tmp_path):
+        baseline = tmp_path / "baseline.json"
+        baseline.write_text(json.dumps({"version": 99, "findings": []}))
+        with pytest.raises(ValueError, match="baseline version"):
+            load_baseline(str(baseline))

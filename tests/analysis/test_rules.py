@@ -1,0 +1,431 @@
+"""Known-good / known-bad fixture snippets for every rule NES001–NES005."""
+
+import numpy as np
+import pytest
+
+SEL = "src/repro/selection/mod.py"
+NN = "src/repro/nn/blocks.py"
+OUT = "src/repro/data/mod.py"  # outside every scoped rule's modules
+
+
+# -- NES001 determinism -------------------------------------------------------
+
+
+class TestDeterminism:
+    def test_global_np_random_call_flagged(self, run_rule):
+        findings, _ = run_rule(
+            """
+            import numpy as np
+            x = np.random.rand(3)
+            """,
+            SEL,
+            "NES001",
+        )
+        assert len(findings) == 1
+        assert "global RNG state" in findings[0].message
+
+    def test_unseeded_default_rng_flagged(self, run_rule):
+        findings, _ = run_rule(
+            "import numpy as np\nrng = np.random.default_rng()\n",
+            SEL,
+            "NES001",
+        )
+        assert len(findings) == 1
+        assert "without a seed" in findings[0].message
+
+    def test_clock_seeded_rng_flagged(self, run_rule):
+        findings, _ = run_rule(
+            """
+            import time
+            import numpy as np
+            rng = np.random.default_rng(int(time.time()))
+            """,
+            SEL,
+            "NES001",
+        )
+        assert len(findings) == 1
+        assert "wall clock" in findings[0].message
+
+    def test_stdlib_random_module_and_from_import_flagged(self, run_rule):
+        findings, _ = run_rule(
+            """
+            import random
+            from random import shuffle
+            random.random()
+            shuffle([1, 2])
+            """,
+            SEL,
+            "NES001",
+        )
+        assert len(findings) == 2
+
+    def test_seeded_rng_and_generator_draws_clean(self, run_rule):
+        findings, _ = run_rule(
+            """
+            import numpy as np
+            rng = np.random.default_rng(17)
+            g = np.random.Generator(np.random.PCG64(3))
+            y = rng.normal(size=4)
+            """,
+            SEL,
+            "NES001",
+        )
+        assert findings == []
+
+    def test_out_of_scope_module_not_flagged(self, run_rule):
+        findings, _ = run_rule(
+            "import numpy as np\nx = np.random.rand(3)\n", OUT, "NES001"
+        )
+        assert findings == []
+
+    def test_pragma_suppresses_with_reason(self, run_rule):
+        findings, suppressed = run_rule(
+            """
+            import numpy as np
+            # lint: allow-determinism(fixture needs entropy)
+            rng = np.random.default_rng()
+            """,
+            SEL,
+            "NES001",
+        )
+        assert findings == []
+        assert len(suppressed) == 1
+
+
+# -- NES002 precision drift ---------------------------------------------------
+
+
+class TestPrecision:
+    @pytest.mark.parametrize(
+        "line",
+        [
+            "x = np.zeros(5)",
+            "x = np.empty((2, 3))",
+            "x = np.ones(4)",
+            "x = np.full((2, 2), 0.0)",
+            "x = np.eye(3)",
+            "x = np.array([1.0, 2.0])",
+            "x = np.array([[1, 2.5]])",
+        ],
+    )
+    def test_implicit_float64_flagged(self, run_rule, line):
+        findings, _ = run_rule(f"import numpy as np\n{line}\n", SEL, "NES002")
+        assert len(findings) == 1
+
+    @pytest.mark.parametrize(
+        "line",
+        [
+            "x = np.zeros(5, dtype=np.float32)",
+            "x = np.zeros(5, np.float32)",
+            "x = np.empty((2, 3), dtype='f4')",
+            "x = np.full((2, 2), 0.0, np.float32)",
+            "x = np.array([1, 2])",
+            "x = np.array(other)",
+            "x = np.array([1.0], dtype=np.float64)",
+        ],
+    )
+    def test_explicit_or_integer_clean(self, run_rule, line):
+        findings, _ = run_rule(f"import numpy as np\n{line}\n", SEL, "NES002")
+        assert findings == []
+
+    def test_smartssd_kernel_in_scope(self, run_rule):
+        findings, _ = run_rule(
+            "import numpy as np\nx = np.zeros(5)\n",
+            "src/repro/smartssd/kernel.py",
+            "NES002",
+        )
+        assert len(findings) == 1
+
+    def test_out_of_scope_module_not_flagged(self, run_rule):
+        findings, _ = run_rule(
+            "import numpy as np\nx = np.zeros(5)\n", OUT, "NES002"
+        )
+        assert findings == []
+
+
+# -- NES003 exception swallowing ----------------------------------------------
+
+
+class TestBroadExcept:
+    def test_bare_except_flagged(self, run_rule):
+        findings, _ = run_rule(
+            """
+            try:
+                work()
+            except:
+                pass
+            """,
+            OUT,
+            "NES003",
+        )
+        assert len(findings) == 1
+        assert "bare except" in findings[0].message
+
+    def test_broad_except_swallowing_flagged(self, run_rule):
+        findings, _ = run_rule(
+            """
+            try:
+                work()
+            except Exception:
+                result = None
+            """,
+            OUT,
+            "NES003",
+        )
+        assert len(findings) == 1
+
+    @pytest.mark.parametrize(
+        "handler",
+        [
+            "except ValueError:\n    pass",
+            "except Exception:\n    raise",
+            "except Exception as exc:\n    log.warning('failed: %s', exc)",
+            "except Exception:\n    traceback.print_exc()",
+        ],
+    )
+    def test_narrow_reraise_or_logging_clean(self, run_rule, handler):
+        findings, _ = run_rule(
+            "try:\n    work()\n" + handler + "\n", OUT, "NES003"
+        )
+        assert findings == []
+
+    def test_pragma_with_reason_suppresses(self, run_rule):
+        findings, suppressed = run_rule(
+            """
+            try:
+                work()
+            # lint: allow-broad-except(platform fallback is designed)
+            except Exception:
+                pass
+            """,
+            OUT,
+            "NES003",
+        )
+        assert findings == []
+        assert len(suppressed) == 1
+
+    def test_pragma_without_reason_does_not_suppress(self, run_rule):
+        findings, _ = run_rule(
+            """
+            try:
+                work()
+            # lint: allow-broad-except()
+            except Exception:
+                pass
+            """,
+            OUT,
+            "NES003",
+        )
+        assert len(findings) == 1
+
+
+# -- NES004 shm lifecycle -----------------------------------------------------
+
+
+class TestShmLifecycle:
+    def test_unreleased_creation_flagged(self, run_rule):
+        findings, _ = run_rule(
+            """
+            def leak(vectors):
+                store = SharedFeatureStore(vectors)
+                return store.vectors.sum()
+            """,
+            OUT,
+            "NES004",
+        )
+        assert len(findings) == 1
+        assert "'store'" in findings[0].message
+
+    def test_bare_expression_creation_flagged(self, run_rule):
+        findings, _ = run_rule(
+            """
+            def leak():
+                SharedMemory(create=True, size=8)
+            """,
+            OUT,
+            "NES004",
+        )
+        assert len(findings) == 1
+        assert "immediately" in findings[0].message
+
+    def test_try_finally_release_clean(self, run_rule):
+        findings, _ = run_rule(
+            """
+            def ok(vectors):
+                store = SharedFeatureStore(vectors)
+                try:
+                    return store.vectors.sum()
+                finally:
+                    store.close()
+                    store.unlink()
+            """,
+            OUT,
+            "NES004",
+        )
+        assert findings == []
+
+    def test_with_block_clean(self, run_rule):
+        findings, _ = run_rule(
+            """
+            def ok(vectors):
+                with SharedFeatureStore(vectors) as store:
+                    return store.vectors.sum()
+            """,
+            OUT,
+            "NES004",
+        )
+        assert findings == []
+
+    def test_self_attribute_and_return_ownership_clean(self, run_rule):
+        findings, _ = run_rule(
+            """
+            class Holder:
+                def __init__(self, vectors):
+                    self._store = SharedFeatureStore(vectors)
+
+            def make(vectors):
+                store = SharedFeatureStore(vectors)
+                return store
+
+            def make_direct(vectors):
+                return SharedFeatureStore(vectors)
+            """,
+            OUT,
+            "NES004",
+        )
+        assert findings == []
+
+    def test_nested_function_not_double_reported(self, run_rule):
+        findings, _ = run_rule(
+            """
+            def outer(vectors):
+                def inner():
+                    store = SharedFeatureStore(vectors)
+                    return store.vectors.sum()
+                return inner
+            """,
+            OUT,
+            "NES004",
+        )
+        assert len(findings) == 1
+
+
+# -- NES005 shape contracts ---------------------------------------------------
+
+
+class TestShapeContracts:
+    def test_missing_contract_flagged(self, run_rule):
+        findings, _ = run_rule(
+            """
+            class Conv(Module):
+                def forward(self, x):
+                    return x * self.weight
+            """,
+            NN,
+            "NES005",
+        )
+        assert len(findings) == 1
+        assert "Conv.forward has no @shape_contract" in findings[0].message
+
+    def test_decorated_forward_clean(self, run_rule):
+        findings, _ = run_rule(
+            """
+            from repro.nn.contracts import shape_contract
+
+            class Conv(Module):
+                @shape_contract("N,C,H,W -> N,K,H',W'")
+                def forward(self, x):
+                    return x
+            """,
+            NN,
+            "NES005",
+        )
+        assert findings == []
+
+    def test_invalid_spec_flagged(self, run_rule):
+        findings, _ = run_rule(
+            """
+            from repro.nn.contracts import shape_contract
+
+            class Conv(Module):
+                @shape_contract("N,C -> ")
+                def forward(self, x):
+                    return x
+            """,
+            NN,
+            "NES005",
+        )
+        assert len(findings) == 1
+        assert "invalid" in findings[0].message
+
+    def test_non_literal_spec_flagged(self, run_rule):
+        findings, _ = run_rule(
+            """
+            from repro.nn.contracts import shape_contract
+
+            SPEC = "N,C -> N,C"
+
+            class Conv(Module):
+                @shape_contract(SPEC)
+                def forward(self, x):
+                    return x
+            """,
+            NN,
+            "NES005",
+        )
+        assert len(findings) == 1
+        assert "literal" in findings[0].message
+
+    def test_abstract_and_multi_arg_forwards_exempt(self, run_rule):
+        findings, _ = run_rule(
+            '''
+            class Module:
+                def forward(self, x):
+                    """Subclasses implement this."""
+                    raise NotImplementedError
+
+            class Loss:
+                def forward(self, logits, targets):
+                    return (logits - targets).sum()
+            ''',
+            NN,
+            "NES005",
+        )
+        assert findings == []
+
+    def test_outside_nn_not_flagged(self, run_rule):
+        findings, _ = run_rule(
+            """
+            class Thing:
+                def forward(self, x):
+                    return x
+            """,
+            OUT,
+            "NES005",
+        )
+        assert findings == []
+
+    def test_real_resnet_contracts_compose(self):
+        """The committed resnet/module contracts must actually chain."""
+        import repro.nn.resnet  # noqa: F401 - populates the registry
+        from repro.nn.contracts import CONTRACTS, check_chain
+
+        out = check_chain(
+            [
+                CONTRACTS["Conv2d.forward"],
+                CONTRACTS["BatchNorm2d.forward"],
+                CONTRACTS["ReLU.forward"],
+                CONTRACTS["GlobalAvgPool2d.forward"],
+                CONTRACTS["Linear.forward"],
+            ]
+        )
+        assert len(out) == 2  # (N, G)
+
+    def test_real_resnet_forward_matches_contract(self):
+        """The runtime network honours its declared 4D -> 2D contract."""
+        from repro.nn.resnet import resnet20
+
+        model = resnet20(num_classes=4, in_channels=3, width=4)
+        x = np.random.default_rng(0).normal(size=(2, 3, 8, 8)).astype(np.float64)
+        out = model.forward(x)
+        assert out.shape == (2, 4)

@@ -1,0 +1,119 @@
+"""Unit tests for the shape-contract grammar, composition and decorator."""
+
+import pytest
+
+from repro.nn.contracts import (
+    CONTRACTS,
+    ContractError,
+    check_chain,
+    compose,
+    parse_spec,
+    shape_contract,
+)
+
+
+class TestParseSpec:
+    def test_basic_spec(self):
+        dims_in, dims_out = parse_spec("N,C,H,W -> N,K,H',W'")
+        assert dims_in == ("N", "C", "H", "W")
+        assert dims_out == ("N", "K", "H'", "W'")
+
+    def test_passthrough_and_ellipsis(self):
+        assert parse_spec("* -> *") == (("*",), ("*",))
+        assert parse_spec("N,... -> N,F") == (("N", "..."), ("N", "F"))
+
+    @pytest.mark.parametrize(
+        "spec",
+        [
+            "N,C",  # no arrow
+            "N -> C -> D",  # two arrows
+            "N,, -> N",  # empty token
+            "N -> ",  # empty side
+            "2N -> N",  # token must start with a letter
+            "N,* -> N",  # * must stand alone
+            "...,...,N -> N",  # two ellipses on one side
+            "* -> N,C",  # * contracts must be passthrough both sides
+        ],
+    )
+    def test_invalid_specs_rejected(self, spec):
+        with pytest.raises(ContractError):
+            parse_spec(spec)
+
+    def test_non_string_rejected(self):
+        with pytest.raises(ContractError):
+            parse_spec(42)
+
+
+class TestCompose:
+    def test_matching_arity_flows_through(self):
+        out = compose(("N", "C", "H", "W"), "N,C,H,W -> N,K,H',W'")
+        assert out == ("N", "K", "H'", "W'")
+
+    def test_passthrough_preserves_current_shape(self):
+        assert compose(("N", "C", "H", "W"), "* -> *") == ("N", "C", "H", "W")
+
+    def test_arity_mismatch_raises(self):
+        with pytest.raises(ContractError, match="expects"):
+            compose(("N", "C"), "N,C,H,W -> N,K")
+
+    def test_ellipsis_accepts_variable_arity(self):
+        assert compose(("N", "C", "H", "W"), "N,... -> N,F") == ("N", "F")
+        assert compose(("N", "F"), "N,... -> N,F") == ("N", "F")
+
+    def test_unconstrained_first_stage(self):
+        assert compose(None, "N,C,H,W -> N,K,H',W'") == ("N", "K", "H'", "W'")
+
+
+class TestCheckChain:
+    def test_conv_pool_head_chain(self):
+        out = check_chain(
+            [
+                "N,C,H,W -> N,K,H',W'",
+                "N,C,H,W -> N,C,H,W",
+                "* -> *",
+                "N,C,H,W -> N,C",
+                "N,F -> N,G",
+            ]
+        )
+        assert out == ("N", "G")
+
+    def test_broken_chain_raises(self):
+        with pytest.raises(ContractError):
+            check_chain(["N,C,H,W -> N,C", "N,C,H,W -> N,K,H',W'"])
+
+    def test_empty_chain_is_unconstrained(self):
+        assert check_chain([]) is None
+
+
+class TestDecorator:
+    def test_registers_by_qualname_and_attaches_spec(self):
+        @shape_contract("N,F -> N,G")
+        def forward(self, x):
+            return x
+
+        try:
+            assert forward.__shape_contract__ == "N,F -> N,G"
+            qualnames = [q for q in CONTRACTS if q.endswith("forward")]
+            assert any(CONTRACTS[q] == "N,F -> N,G" for q in qualnames)
+        finally:
+            CONTRACTS.pop(forward.__qualname__, None)
+
+    def test_invalid_spec_fails_at_decoration_time(self):
+        with pytest.raises(ContractError):
+
+            @shape_contract("N -> C -> D")
+            def forward(self, x):
+                return x
+
+    def test_real_modules_are_registered(self):
+        import repro.nn.resnet  # noqa: F401 - populates the registry
+
+        for qualname in (
+            "Conv2d.forward",
+            "Linear.forward",
+            "BatchNorm2d.forward",
+            "GlobalAvgPool2d.forward",
+            "BasicBlock.forward",
+            "ResNet.forward",
+        ):
+            assert qualname in CONTRACTS

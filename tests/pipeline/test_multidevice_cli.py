@@ -65,7 +65,9 @@ class TestCLI:
     def test_parser_has_all_commands(self):
         parser = build_parser()
         sub = next(a for a in parser._actions if a.dest == "command")
-        assert set(sub.choices) == {"info", "train", "system", "kernel", "scaling", "bench"}
+        assert set(sub.choices) == {
+            "info", "train", "system", "kernel", "scaling", "bench", "lint",
+        }
 
     def test_info_runs(self, capsys):
         assert main(["info"]) == 0
