@@ -9,7 +9,7 @@ This package machine-checks them with a stdlib-``ast`` engine:
 
 - :mod:`repro.analysis.engine` — file walker + per-file visitor pipeline;
 - :mod:`repro.analysis.registry` — checker registry (one class per rule);
-- :mod:`repro.analysis.rules` — the NES001–NES005 rule implementations;
+- :mod:`repro.analysis.rules` — the NES001–NES006 rule implementations;
 - :mod:`repro.analysis.findings` — structured findings + fingerprints;
 - :mod:`repro.analysis.baseline` — grandfathered-finding baseline file.
 

@@ -7,6 +7,7 @@
 | NES003 | allow-broad-except     | broad handlers re-raise, log, or justify themselves |
 | NES004 | allow-shm-lifecycle    | shm segments released on all exit paths |
 | NES005 | allow-shape-contract   | public nn forwards carry composing shape contracts |
+| NES006 | allow-span-with        | obs spans are with-managed at the call site |
 
 (NES000 is the engine's parse-failure pseudo-rule; it has no pragma and
 cannot be baselined.)
@@ -18,4 +19,5 @@ from repro.analysis.rules import (  # noqa: F401 - imports register checkers
     precision,
     shape,
     shm,
+    spans,
 )

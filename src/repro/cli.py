@@ -9,19 +9,48 @@ Commands
 ``scaling``  the multi-SmartSSD scaling curve (the paper's future work).
 ``bench``    run the hot-path microbenchmarks; ``--check`` compares to the
              committed BENCH_*.json baselines and exits non-zero on regression.
-``lint``     run the repro.analysis static invariant checks (NES001-NES005)
+``lint``     run the repro.analysis static invariant checks (NES001-NES006)
              against the source tree; exits non-zero on findings not covered
              by the committed baseline.
+``report``   aggregate a ``--trace`` JSONL run-trace into the paper's
+             headline table (time per phase, bytes over the link,
+             selection overhead); ``--chrome`` converts it for Perfetto.
+
+``train``, ``system`` and ``bench`` accept ``--trace PATH``: a
+:mod:`repro.obs` tracer + metrics registry is installed for the run and
+the JSONL trace (spans + final metrics snapshot) is written to PATH.
 """
 
 from __future__ import annotations
 
 import argparse
+import contextlib
 import sys
 
 from repro.data.registry import DATASETS
 
 __all__ = ["main"]
+
+
+@contextlib.contextmanager
+def _traced(path: str | None, run: str):
+    """Install tracer + metrics for the body, then write the JSONL trace."""
+    if not path:
+        yield
+        return
+    from repro import obs
+
+    tracer = obs.Tracer(run=run)
+    registry = obs.MetricsRegistry()
+    prev_tracer = obs.set_tracer(tracer)
+    prev_metrics = obs.set_metrics(registry)
+    try:
+        yield
+    finally:
+        obs.set_tracer(prev_tracer)
+        obs.set_metrics(prev_metrics)
+        obs.write_jsonl(path, tracer, registry)
+        print(f"trace written to {path}")
 
 
 def _cmd_info(args) -> int:
@@ -59,16 +88,17 @@ def _cmd_train(args) -> int:
             seed=args.seed,
             workers=args.workers,
         )
-    result = run_method(
-        args.dataset,
-        args.method,
-        train_set,
-        test_set,
-        recipe,
-        subset_fraction=args.fraction,
-        nessa_config=nessa_config,
-        seed=args.seed,
-    )
+    with _traced(args.trace, run=f"train-{args.method}-{args.dataset}"):
+        result = run_method(
+            args.dataset,
+            args.method,
+            train_set,
+            test_set,
+            recipe,
+            subset_fraction=args.fraction,
+            nessa_config=nessa_config,
+            seed=args.seed,
+        )
     history = result.history
     print(f"{args.method} on {args.dataset}: "
           f"final={100 * history.final_accuracy:.2f}% "
@@ -85,11 +115,33 @@ def _cmd_train(args) -> int:
 
 
 def _cmd_system(args) -> int:
+    from repro import obs
     from repro.pipeline.system import SystemModel, average_speedups, data_movement_summary
 
     model = SystemModel(args.dataset, selection_workers=args.workers)
+    with _traced(args.trace, run=f"system-{args.dataset}"):
+        pricers = {
+            "full": model.full_epoch,
+            "craig": model.craig_epoch,
+            "kcenters": model.kcenters_epoch,
+            "nessa": model.nessa_epoch,
+        }
+        table = {}
+        for name, price in pricers.items():
+            # Modelled (not measured) numbers ride as span attributes; the
+            # modelled_* byte attr keeps them out of the report's measured
+            # data-moved reconciliation.
+            with obs.span("strategy_price", key=name, dataset=args.dataset) as sp:
+                timing = table[name] = price()
+                sp.set(
+                    modelled_ingest_s=timing.ingest_time,
+                    modelled_select_s=timing.selection_time,
+                    modelled_compute_s=timing.compute_time,
+                    modelled_total_s=timing.total,
+                    modelled_link_bytes=int(timing.movement.over_host_interconnect),
+                )
     print(f"per-epoch strategy costs for {args.dataset} (modelled seconds):")
-    for name, timing in model.epoch_table().items():
+    for name, timing in table.items():
         print(f"  {name:9s} ingest={timing.ingest_time:8.2f} "
               f"select={timing.selection_time:8.2f} "
               f"compute={timing.compute_time:8.2f} total={timing.total:8.2f}")
@@ -146,38 +198,41 @@ def _cmd_bench(args) -> int:
     if not args.check:
         os.makedirs(args.out_dir, exist_ok=True)
     regressed = []
-    for group in groups:
-        results = bench.run_group(
-            group,
-            size=args.size,
-            repeats=args.repeats,
-            warmup=args.warmup,
-            with_seed=not args.no_seed,
-            max_workers=args.workers,
-        )
-        for r in results:
-            speedup = f"  {r.speedup_vs_seed:5.2f}x vs seed" if r.speedup_vs_seed else ""
-            print(f"  {r.name:32s} median={r.median_s * 1e3:9.3f}ms "
-                  f"p90={r.p90_s * 1e3:9.3f}ms{speedup}")
+    with _traced(args.trace, run=f"bench-{args.group}"):
+        for group in groups:
+            results = bench.run_group(
+                group,
+                size=args.size,
+                repeats=args.repeats,
+                warmup=args.warmup,
+                with_seed=not args.no_seed,
+                max_workers=args.workers,
+            )
+            for r in results:
+                speedup = (f"  {r.speedup_vs_seed:5.2f}x vs seed"
+                           if r.speedup_vs_seed else "")
+                print(f"  {r.name:32s} median={r.median_s * 1e3:9.3f}ms "
+                      f"p90={r.p90_s * 1e3:9.3f}ms{speedup}")
 
-        out_path = os.path.join(args.out_dir, f"BENCH_{group}.json")
-        if args.check:
-            baseline_path = os.path.join(args.baseline_dir or args.out_dir,
-                                         f"BENCH_{group}.json")
-            if not os.path.exists(baseline_path):
-                print(f"  no baseline at {baseline_path}; skipping check")
-                continue
-            for row in bench.compare(results, bench.load_results(baseline_path),
-                                     tolerance=args.tolerance):
-                if row["regressed"]:
-                    regressed.append(row)
-                    print(f"  REGRESSION {row['name']}: "
-                          f"{row['current_median_s'] * 1e3:.3f}ms vs baseline "
-                          f"{row['baseline_median_s'] * 1e3:.3f}ms "
-                          f"({row['ratio']:.2f}x, tolerance {1 + args.tolerance:.2f}x)")
-        else:
-            bench.write_results(out_path, results)
-            print(f"  wrote {out_path}")
+            out_path = os.path.join(args.out_dir, f"BENCH_{group}.json")
+            if args.check:
+                baseline_path = os.path.join(args.baseline_dir or args.out_dir,
+                                             f"BENCH_{group}.json")
+                if not os.path.exists(baseline_path):
+                    print(f"  no baseline at {baseline_path}; skipping check")
+                    continue
+                for row in bench.compare(results, bench.load_results(baseline_path),
+                                         tolerance=args.tolerance):
+                    if row["regressed"]:
+                        regressed.append(row)
+                        print(f"  REGRESSION {row['name']}: "
+                              f"{row['current_median_s'] * 1e3:.3f}ms vs baseline "
+                              f"{row['baseline_median_s'] * 1e3:.3f}ms "
+                              f"({row['ratio']:.2f}x, "
+                              f"tolerance {1 + args.tolerance:.2f}x)")
+            else:
+                bench.write_results(out_path, results)
+                print(f"  wrote {out_path}")
 
     if regressed:
         print(f"{len(regressed)} bench(es) regressed beyond tolerance")
@@ -242,6 +297,26 @@ def _cmd_lint(args) -> int:
     return 1 if findings else 0
 
 
+def _cmd_report(args) -> int:
+    from repro import obs
+
+    try:
+        trace = obs.read_trace(args.trace)
+    except (OSError, ValueError) as exc:
+        print(f"report: {exc}")
+        return 2
+    if not trace["spans"]:
+        print(f"report: {args.trace} holds no spans (run {trace['meta'].get('run', '?')})")
+        return 0
+    print(obs.render_report(trace))
+    if args.chrome:
+        path = obs.write_chrome_trace(args.chrome, trace["spans"],
+                                      run=trace["meta"].get("run", "run"))
+        print(f"\nchrome trace written to {path} "
+              "(load in chrome://tracing or ui.perfetto.dev)")
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(prog="repro", description=__doc__)
     sub = parser.add_subparsers(dest="command", required=True)
@@ -267,11 +342,15 @@ def build_parser() -> argparse.ArgumentParser:
     train.add_argument("--workers", type=int, default=1,
                        help="selection-engine process count (1 = serial; "
                             "results are identical for any count)")
+    train.add_argument("--trace", default=None, metavar="PATH",
+                       help="record a repro.obs run-trace (JSONL) to PATH")
 
     system = sub.add_parser("system", help="price the per-epoch strategies")
     system.add_argument("--dataset", choices=sorted(DATASETS), default="cifar10")
     system.add_argument("--workers", type=int, default=1,
                         help="host-CPU cores modelled for CPU-side selection")
+    system.add_argument("--trace", default=None, metavar="PATH",
+                        help="record a repro.obs run-trace (JSONL) to PATH")
 
     sub.add_parser("kernel", help="synthesize the selection kernel (Table 4)")
 
@@ -297,6 +376,15 @@ def build_parser() -> argparse.ArgumentParser:
                        help="allowed fractional slowdown before a check fails")
     bench.add_argument("--workers", type=int, default=None,
                        help="skip parallel benches needing more workers than this")
+    bench.add_argument("--trace", default=None, metavar="PATH",
+                       help="record a repro.obs run-trace (JSONL) to PATH")
+
+    report = sub.add_parser("report", help="aggregate a recorded run-trace")
+    report.add_argument("trace", metavar="TRACE",
+                        help="JSONL trace written by a --trace run")
+    report.add_argument("--chrome", default=None, metavar="PATH",
+                        help="also write a Chrome trace_event JSON for "
+                             "chrome://tracing / Perfetto")
 
     lint = sub.add_parser("lint", help="run the static invariant checks")
     lint.add_argument("paths", nargs="*", default=["src"],
@@ -328,6 +416,7 @@ def main(argv=None) -> int:
         "scaling": _cmd_scaling,
         "bench": _cmd_bench,
         "lint": _cmd_lint,
+        "report": _cmd_report,
     }
     return handlers[args.command](args)
 

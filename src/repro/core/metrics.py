@@ -34,6 +34,8 @@ class EpochRecord:
     feedback_bytes: int = 0
     dropped_samples: int = 0
     lr: float = 0.0
+    wall_time_s: float = 0.0
+    selection_time_s: float = 0.0
 
 
 @dataclass
@@ -98,6 +100,46 @@ class TrainingHistory:
             raise ValueError("empty history")
         return float(np.mean([r.subset_fraction for r in self.records]))
 
+    @property
+    def total_wall_time_s(self) -> float:
+        """Measured wall clock of the run (sum of per-epoch wall times)."""
+        return float(sum(r.wall_time_s for r in self.records))
+
+    @property
+    def total_selection_time_s(self) -> float:
+        """Wall clock spent inside selection rounds across the run."""
+        return float(sum(r.selection_time_s for r in self.records))
+
+    @property
+    def selection_overhead_fraction(self) -> float:
+        """Selection time as a fraction of total wall time (0 if untimed).
+
+        The number the data-selection literature reports to justify
+        selection cost against training savings; ``repro.cli report``
+        derives the same ratio from a run trace.
+        """
+        wall = self.total_wall_time_s
+        return self.total_selection_time_s / wall if wall > 0 else 0.0
+
+    @property
+    def total_feedback_bytes(self) -> int:
+        """Quantized-weight feedback shipped over the host link."""
+        return int(sum(r.feedback_bytes for r in self.records))
+
+    @property
+    def total_selection_pairwise_bytes(self) -> int:
+        """Similarity state touched by the run's selection rounds."""
+        return int(sum(r.selection_pairwise_bytes for r in self.records))
+
+    @property
+    def data_movement_bytes(self) -> int:
+        """The run's data-movement ledger (feedback + pairwise bytes).
+
+        ``repro.cli report`` reconciles its ``data moved total`` line
+        against exactly this counter (``tests/obs`` asserts equality).
+        """
+        return self.total_feedback_bytes + self.total_selection_pairwise_bytes
+
     def epochs_to_accuracy(self, target: float) -> int | None:
         """First epoch reaching ``target`` accuracy, or None."""
         for r in self.records:
@@ -114,6 +156,9 @@ class TrainingHistory:
             "mean_subset_fraction": self.mean_subset_fraction,
             "total_samples_trained": self.total_samples_trained,
             "accuracy_curve": self.accuracy_curve().tolist(),
+            "total_wall_time_s": self.total_wall_time_s,
+            "total_selection_time_s": self.total_selection_time_s,
+            "data_movement_bytes": self.data_movement_bytes,
         }
 
 

@@ -25,6 +25,7 @@ from __future__ import annotations
 
 import numpy as np
 
+from repro import obs
 from repro.core.config import NeSSAConfig
 from repro.data.dataset import Dataset, Subset
 from repro.parallel.cache import ProxyCache
@@ -154,7 +155,17 @@ class NeSSASelector:
             epsilon=self.config.stochastic_epsilon,
             similarity_dtype_bytes=self.config.similarity_dtype_bytes,
         )
-        outcomes = self.executor.run_units(proxy.vectors, units, spec, labels=labels)
+        with obs.span(
+            "chunk_select",
+            units=len(units),
+            workers=self.executor.workers,
+            parallel=self.executor.is_parallel,
+        ):
+            outcomes = self.executor.run_units(
+                proxy.vectors, units, spec, labels=labels
+            )
+        obs.metrics().counter("selection.units_executed").inc(len(units))
+        obs.metrics().counter("selection.rounds").inc()
 
         positions, weights = [], []
         max_pairwise = 0
@@ -170,6 +181,14 @@ class NeSSASelector:
             pairwise_bytes=max_pairwise,
             proxy_flops=proxy.flops,
         )
+
+    @property
+    def proxy_cache_stats(self) -> dict:
+        """Hit/miss accounting of the proxy cache (zeros when disabled)."""
+        if self.proxy_cache is None:
+            return {"hits": 0, "misses": 0, "lookups": 0, "hit_rate": 0.0,
+                    "entries": 0}
+        return self.proxy_cache.stats
 
     def subset(self, dataset: Dataset, fraction: float, model) -> Subset:
         """Run :meth:`select` and wrap the result as a weighted Subset."""

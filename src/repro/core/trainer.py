@@ -19,10 +19,12 @@ apples-to-apples.
 
 from __future__ import annotations
 
+import time
 from typing import Callable
 
 import numpy as np
 
+from repro import obs
 from repro.core.config import NeSSAConfig, TrainRecipe
 from repro.core.feedback import FeedbackLoop
 from repro.core.metrics import EpochRecord, TrainingHistory, evaluate_accuracy
@@ -95,8 +97,12 @@ class FullTrainer(_BaseTrainer):
             train_set, self.recipe.batch_size, shuffle=True, seed=self.seed
         )
         for epoch in range(self.recipe.epochs):
-            mean_loss, _, _ = self._train_one_epoch(loader)
-            acc = evaluate_accuracy(self.model, test_set)
+            epoch_t0 = time.perf_counter()
+            with obs.span("epoch", epoch=epoch, method=self.name) as ep:
+                mean_loss, _, _ = self._train_one_epoch(loader)
+                acc = evaluate_accuracy(self.model, test_set)
+                ep.set(train_loss=mean_loss, test_accuracy=acc,
+                       samples_trained=len(train_set))
             history.append(
                 EpochRecord(
                     epoch=epoch,
@@ -106,6 +112,7 @@ class FullTrainer(_BaseTrainer):
                     subset_fraction=1.0,
                     samples_trained=len(train_set),
                     lr=self.scheduler.current_lr,
+                    wall_time_s=time.perf_counter() - epoch_t0,
                 )
             )
         return history
@@ -140,24 +147,38 @@ class SubsetTrainer(_BaseTrainer):
         history = TrainingHistory(method=self.name)
         subset: Subset | None = None
         for epoch in range(self.recipe.epochs):
-            selection_ran = False
-            proxy_flops = 0.0
-            pairwise = 0
-            if subset is None or epoch % self.select_every == 0:
-                result = self.selector.select(
-                    train_set, self.subset_fraction, self.model
-                )
-                weights = result.weights if result.weights.std() > 0 else None
-                subset = Subset(train_set, result.positions, weights=weights)
-                selection_ran = True
-                proxy_flops = result.proxy_flops
-                pairwise = result.pairwise_bytes
+            epoch_t0 = time.perf_counter()
+            selection_s = 0.0
+            with obs.span("epoch", epoch=epoch, method=self.name) as ep:
+                selection_ran = False
+                proxy_flops = 0.0
+                pairwise = 0
+                if subset is None or epoch % self.select_every == 0:
+                    select_t0 = time.perf_counter()
+                    with obs.span("selection_round", epoch=epoch) as sel:
+                        result = self.selector.select(
+                            train_set, self.subset_fraction, self.model
+                        )
+                        sel.set(
+                            pairwise_bytes=int(result.pairwise_bytes),
+                            proxy_flops=float(result.proxy_flops),
+                            selected=len(result.positions),
+                        )
+                    selection_s = time.perf_counter() - select_t0
+                    weights = result.weights if result.weights.std() > 0 else None
+                    subset = Subset(train_set, result.positions, weights=weights)
+                    selection_ran = True
+                    proxy_flops = result.proxy_flops
+                    pairwise = result.pairwise_bytes
 
-            loader = DataLoader(
-                subset, self.recipe.batch_size, shuffle=True, seed=self.seed + epoch
-            )
-            mean_loss, _, _ = self._train_one_epoch(loader)
-            acc = evaluate_accuracy(self.model, test_set)
+                loader = DataLoader(
+                    subset, self.recipe.batch_size, shuffle=True, seed=self.seed + epoch
+                )
+                mean_loss, _, _ = self._train_one_epoch(loader)
+                acc = evaluate_accuracy(self.model, test_set)
+                ep.set(train_loss=mean_loss, test_accuracy=acc,
+                       subset_size=len(subset),
+                       subset_fraction=len(subset) / len(train_set))
             history.append(
                 EpochRecord(
                     epoch=epoch,
@@ -170,6 +191,8 @@ class SubsetTrainer(_BaseTrainer):
                     selection_proxy_flops=proxy_flops,
                     selection_pairwise_bytes=pairwise,
                     lr=self.scheduler.current_lr,
+                    wall_time_s=time.perf_counter() - epoch_t0,
+                    selection_time_s=selection_s,
                 )
             )
         return history
@@ -209,37 +232,61 @@ class NeSSATrainer(_BaseTrainer):
     def train(self, train_set: Dataset, test_set: Dataset) -> TrainingHistory:
         history = TrainingHistory(method=self.name)
         # Initial feedback sync: the FPGA starts from the initial weights.
-        feedback_bytes = self.feedback.sync(self.model)
+        # Recorded as run setup, not as a `feedback_quantize` link span —
+        # no EpochRecord carries it, and `repro.cli report` reconciles
+        # link bytes against the per-epoch ledger exactly.
+        with obs.span("run_setup", method=self.name) as setup:
+            feedback_bytes = self.feedback.sync(self.model)
+            setup.set(feedback_sync_bytes=int(feedback_bytes))
 
         subset: Subset | None = None
         fraction = self.schedule.fraction
         for epoch in range(self.recipe.epochs):
-            dropped = self.selector.maybe_drop_learned(train_set, epoch)
+            epoch_t0 = time.perf_counter()
+            selection_s = 0.0
+            with obs.span("epoch", epoch=epoch, method=self.name) as ep:
+                dropped = self.selector.maybe_drop_learned(train_set, epoch)
 
-            selection_ran = False
-            proxy_flops = 0.0
-            pairwise = 0
-            if subset is None or epoch % self.config.select_every == 0:
-                result = self.selector.select(
-                    train_set, fraction, self.feedback.selection_model
+                selection_ran = False
+                proxy_flops = 0.0
+                pairwise = 0
+                if subset is None or epoch % self.config.select_every == 0:
+                    select_t0 = time.perf_counter()
+                    with obs.span("selection_round", epoch=epoch) as sel:
+                        result = self.selector.select(
+                            train_set, fraction, self.feedback.selection_model
+                        )
+                        sel.set(
+                            pairwise_bytes=int(result.pairwise_bytes),
+                            proxy_flops=float(result.proxy_flops),
+                            selected=len(result.positions),
+                            fraction=float(fraction),
+                        )
+                    selection_s = time.perf_counter() - select_t0
+                    weights = result.weights if result.weights.std() > 0 else None
+                    subset = Subset(train_set, result.positions, weights=weights)
+                    selection_ran = True
+                    proxy_flops = result.proxy_flops
+                    pairwise = result.pairwise_bytes
+
+                loader = DataLoader(
+                    subset, self.recipe.batch_size, shuffle=True,
+                    seed=self.config.seed + epoch
                 )
-                weights = result.weights if result.weights.std() > 0 else None
-                subset = Subset(train_set, result.positions, weights=weights)
-                selection_ran = True
-                proxy_flops = result.proxy_flops
-                pairwise = result.pairwise_bytes
+                mean_loss, per_sample, ids = self._train_one_epoch(loader)
+                self.selector.record_epoch_losses(ids, per_sample)
 
-            loader = DataLoader(
-                subset, self.recipe.batch_size, shuffle=True, seed=self.config.seed + epoch
-            )
-            mean_loss, per_sample, ids = self._train_one_epoch(loader)
-            self.selector.record_epoch_losses(ids, per_sample)
+                # Step 4 of Figure 3: quantize + ship the updated weights back.
+                with obs.span("feedback_quantize", epoch=epoch) as fb:
+                    feedback_bytes = self.feedback.sync(self.model)
+                    fb.set(link_bytes=int(feedback_bytes), bits=self.feedback.bits)
+                fraction = self.schedule.update(mean_loss)
 
-            # Step 4 of Figure 3: quantize + ship the updated weights back.
-            feedback_bytes = self.feedback.sync(self.model)
-            fraction = self.schedule.update(mean_loss)
-
-            acc = evaluate_accuracy(self.model, test_set)
+                acc = evaluate_accuracy(self.model, test_set)
+                ep.set(train_loss=mean_loss, test_accuracy=acc,
+                       subset_size=len(subset),
+                       subset_fraction=len(subset) / len(train_set),
+                       dropped_samples=dropped)
             history.append(
                 EpochRecord(
                     epoch=epoch,
@@ -254,6 +301,8 @@ class NeSSATrainer(_BaseTrainer):
                     feedback_bytes=feedback_bytes,
                     dropped_samples=dropped,
                     lr=self.scheduler.current_lr,
+                    wall_time_s=time.perf_counter() - epoch_t0,
+                    selection_time_s=selection_s,
                 )
             )
         return history

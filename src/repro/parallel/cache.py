@@ -23,6 +23,8 @@ from collections import OrderedDict
 
 import numpy as np
 
+from repro.obs.metrics import metrics
+
 __all__ = ["ProxyCache", "model_weights_digest"]
 
 
@@ -88,16 +90,36 @@ class ProxyCache:
         return h.hexdigest()
 
     def get(self, key: str | None):
-        """The cached proxy for ``key``, or ``None`` (counts hit/miss)."""
+        """The cached proxy for ``key``, or ``None`` (counts hit/miss).
+
+        Every lookup lands in the per-cache :attr:`hits`/:attr:`misses`
+        fields *and* the process-wide metrics registry
+        (``proxy_cache.hits`` / ``proxy_cache.misses``) — a no-op until
+        a run installs a real registry.
+        """
         if key is None:
             return None
         entry = self._entries.get(key)
         if entry is None:
             self.misses += 1
+            metrics().counter("proxy_cache.misses").inc()
             return None
         self._entries.move_to_end(key)
         self.hits += 1
+        metrics().counter("proxy_cache.hits").inc()
         return entry
+
+    @property
+    def stats(self) -> dict:
+        """Hit/miss accounting for this cache instance."""
+        lookups = self.hits + self.misses
+        return {
+            "hits": self.hits,
+            "misses": self.misses,
+            "lookups": lookups,
+            "hit_rate": self.hits / lookups if lookups else 0.0,
+            "entries": len(self._entries),
+        }
 
     def put(self, key: str | None, proxy) -> None:
         if key is None:

@@ -23,9 +23,11 @@ fails to start all degrade to the in-process serial loop (same results,
 from __future__ import annotations
 
 import os
+import time
 
 import numpy as np
 
+from repro import obs
 from repro.parallel.scheduler import WorkUnit, unit_rng
 from repro.parallel.store import SharedFeatureStore, StoreHandle, shared_memory_available
 
@@ -97,10 +99,24 @@ def _worker_store(handle: StoreHandle) -> SharedFeatureStore:
     return store
 
 
-def _run_task(task) -> tuple[np.ndarray, np.ndarray, int]:
-    handle, unit, spec = task
+def _run_task(task):
+    """Execute one unit in a pool worker; optionally time it for the trace.
+
+    Returns ``(result, span_payload | None)``.  The payload carries the
+    worker's pid and absolute :func:`time.perf_counter` readings — fork
+    children share the parent's monotonic clock, so the parent tracer
+    can place the span on its own timeline.  The span *identity* never
+    comes from here: the parent derives it from the unit's
+    ``seed_key``, so serial and parallel traces carry identical ids.
+    """
+    handle, unit, spec, trace = task
     store = _worker_store(handle)
-    return execute_unit(store.vectors[unit.positions], unit, spec)
+    if not trace:
+        return execute_unit(store.vectors[unit.positions], unit, spec), None
+    start = time.perf_counter()
+    result = execute_unit(store.vectors[unit.positions], unit, spec)
+    payload = (os.getpid(), start, time.perf_counter() - start)
+    return result, payload
 
 
 def _run_generic_task(task):
@@ -166,17 +182,71 @@ class SelectionExecutor:
         """
         if not units:
             return []
+        tracing = obs.enabled()
         if self.is_parallel and len(units) > 1:
             pool = self._ensure_pool()
             if pool is not None:
-                store = SharedFeatureStore(vectors, labels)
+                with obs.span("shm_publish") as pub:
+                    store = SharedFeatureStore(vectors, labels)
+                    shm_bytes = int(vectors.nbytes) + int(
+                        labels.nbytes if labels is not None else 0
+                    )
+                    pub.set(shm_bytes=shm_bytes, rows=int(vectors.shape[0]))
+                obs.metrics().counter("shm.bytes_published").inc(shm_bytes)
+                obs.metrics().counter("shm.segments_published").inc()
                 try:
-                    tasks = [(store.handle, u, spec) for u in units]
-                    return pool.map(_run_task, tasks, chunksize=1)
+                    tasks = [(store.handle, u, spec, tracing) for u in units]
+                    outcomes = pool.map(_run_task, tasks, chunksize=1)
+                    results = []
+                    for unit, (result, payload) in zip(units, outcomes):
+                        if payload is not None:
+                            pid, start, dur_s = payload
+                            self._forward_unit_span(
+                                unit, result, start=start, dur_s=dur_s, worker=pid
+                            )
+                        results.append(result)
+                    return results
                 finally:
                     store.close()
                     store.unlink()
-        return [execute_unit(vectors[u.positions], u, spec) for u in units]
+        if not tracing:
+            return [execute_unit(vectors[u.positions], u, spec) for u in units]
+        results = []
+        for u in units:
+            start = time.perf_counter()
+            result = execute_unit(vectors[u.positions], u, spec)
+            self._forward_unit_span(
+                u, result, start=start, dur_s=time.perf_counter() - start
+            )
+            results.append(result)
+        return results
+
+    @staticmethod
+    def _forward_unit_span(
+        unit: WorkUnit,
+        result,
+        start: float,
+        dur_s: float,
+        worker: int | None = None,
+    ) -> None:
+        """Record one unit's span, keyed on its deterministic seed_key.
+
+        ``sim_bytes`` is the unit's similarity footprint — the per-unit
+        decomposition of the round's ``pairwise_bytes``; the report
+        aggregator deliberately keeps it out of the data-moved total.
+        """
+        obs.add_completed(
+            "unit",
+            key=unit.seed_key,
+            start=start,
+            dur_s=dur_s,
+            worker=worker,
+            order=unit.order,
+            label=unit.label,
+            take=unit.take,
+            rows=len(unit.positions),
+            sim_bytes=int(result[2]),
+        )
 
     def map_chunks(
         self,
@@ -196,7 +266,9 @@ class SelectionExecutor:
         if self.is_parallel and len(chunk_positions) > 1:
             pool = self._ensure_pool()
             if pool is not None:
-                store = SharedFeatureStore(vectors)
+                with obs.span("shm_publish", rows=int(vectors.shape[0])) as pub:
+                    store = SharedFeatureStore(vectors)
+                    pub.set(shm_bytes=int(vectors.nbytes))
                 try:
                     tasks = [
                         (store.handle, np.asarray(pos), fn, fn_args)

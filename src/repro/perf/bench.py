@@ -32,6 +32,8 @@ from typing import Callable
 
 import numpy as np
 
+from repro import obs
+
 __all__ = [
     "BenchCase",
     "BenchResult",
@@ -184,17 +186,19 @@ def run_bench(
     case = make(size)
 
     try:
-        _reset_peak_rss()
-        times = _time(case.run, repeats, warmup)
-        peak_rss = _read_peak_rss_bytes()
-        seed_median = None
-        speedup = None
-        if with_seed and case.seed_run is not None:
-            # The seed kernels are the slow side; half the repeats keeps the
-            # total bench wall-clock reasonable without hurting the median.
-            seed_times = _time(case.seed_run, max(1, repeats // 2), warmup)
-            seed_median = statistics.median(seed_times)
-            speedup = seed_median / statistics.median(times)
+        with obs.span("bench", bench=name, group=group, size=size) as sp:
+            _reset_peak_rss()
+            times = _time(case.run, repeats, warmup)
+            peak_rss = _read_peak_rss_bytes()
+            seed_median = None
+            speedup = None
+            if with_seed and case.seed_run is not None:
+                # The seed kernels are the slow side; half the repeats keeps the
+                # total bench wall-clock reasonable without hurting the median.
+                seed_times = _time(case.seed_run, max(1, repeats // 2), warmup)
+                seed_median = statistics.median(seed_times)
+                speedup = seed_median / statistics.median(times)
+            sp.set(median_s=statistics.median(times), repeats=repeats)
     finally:
         if case.cleanup is not None:
             case.cleanup()

@@ -12,6 +12,7 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from repro import obs
 from repro.data.dataset import Dataset, Subset
 from repro.selection.facility import (
     lazy_greedy,
@@ -150,21 +151,25 @@ class CraigSelector:
         k_total = max(1, int(round(fraction * len(candidates))))
         labels = dataset.y[candidates]
         positions, weights, pairwise = [], [], 0
-        for label in np.unique(labels):
-            local = np.flatnonzero(labels == label)
-            k_c = max(1, int(round(k_total * len(local) / len(candidates))))
-            sel, w, nbytes = craig_select_class(
-                proxy.vectors[local],
-                k_c,
-                method=self.method,
-                epsilon=self.epsilon,
-                rng=self.rng,
-                precision=self.precision,
-                memory_budget_bytes=self.memory_budget_bytes,
-            )
-            positions.append(candidates[local[sel]])
-            weights.append(w)
-            pairwise = max(pairwise, nbytes)
+        unique_labels = np.unique(labels)
+        with obs.span(
+            "chunk_select", units=len(unique_labels), workers=1, parallel=False
+        ):
+            for label in unique_labels:
+                local = np.flatnonzero(labels == label)
+                k_c = max(1, int(round(k_total * len(local) / len(candidates))))
+                sel, w, nbytes = craig_select_class(
+                    proxy.vectors[local],
+                    k_c,
+                    method=self.method,
+                    epsilon=self.epsilon,
+                    rng=self.rng,
+                    precision=self.precision,
+                    memory_budget_bytes=self.memory_budget_bytes,
+                )
+                positions.append(candidates[local[sel]])
+                weights.append(w)
+                pairwise = max(pairwise, nbytes)
 
         return SelectionResult(
             positions=np.concatenate(positions),

@@ -22,6 +22,7 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from repro import obs
 from repro.nn.loss import CrossEntropyLoss
 
 __all__ = ["GradientProxy", "compute_gradient_proxies"]
@@ -81,12 +82,22 @@ def compute_gradient_proxies(
     if ids is None:
         ids = np.arange(n, dtype=np.int64)
 
-    cache_key = cache.key(model, ids, mode) if cache is not None else None
-    if cache_key is not None:
-        cached = cache.get(cache_key)
-        if cached is not None:
-            return cached
+    with obs.span("proxy_compute", candidates=int(n), mode=mode) as sp:
+        cache_key = cache.key(model, ids, mode) if cache is not None else None
+        if cache_key is not None:
+            cached = cache.get(cache_key)
+            if cached is not None:
+                sp.set(cache_hit=True, flops=float(cached.flops))
+                return cached
+        proxy = _forward_proxies(model, x, y, ids, n, batch_size, mode)
+        sp.set(cache_hit=False, flops=float(proxy.flops))
+    if cache is not None:
+        cache.put(cache_key, proxy)
+    return proxy
 
+
+def _forward_proxies(model, x, y, ids, n, batch_size, mode) -> GradientProxy:
+    """The uncached forward pass behind :func:`compute_gradient_proxies`."""
     inner = getattr(model, "model", model)
     was_training = getattr(inner, "training", False)
     if hasattr(inner, "eval"):
@@ -115,10 +126,7 @@ def compute_gradient_proxies(
     vectors = np.concatenate(vec_chunks).astype(np.float64)
     losses = np.concatenate(loss_chunks).astype(np.float64)
     flops = _forward_flops(inner, x.shape) * n
-    proxy = GradientProxy(vectors=vectors, losses=losses, ids=np.asarray(ids), flops=flops)
-    if cache is not None:
-        cache.put(cache_key, proxy)
-    return proxy
+    return GradientProxy(vectors=vectors, losses=losses, ids=np.asarray(ids), flops=flops)
 
 
 def _head(model):

@@ -19,6 +19,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
+from repro import obs
 from repro.smartssd.events import EventSimulator, _Activity
 from repro.smartssd.kernel import SelectionKernel
 from repro.smartssd.link import LinkModel, p2p_link
@@ -121,8 +122,15 @@ def simulate_selection_pipeline(
         state["finish"] = max(state["finish"], sim.now)
         try_issue()
 
-    try_issue()
-    sim.run()
+    with obs.span("pipeline_sim", chunks=len(chunks), buffers=buffers) as sp:
+        try_issue()
+        sim.run()
+        sp.set(
+            makespan_s=state["finish"],
+            dma_busy_s=state["dma_busy"],
+            kernel_busy_s=state["kernel_busy"],
+            streamed_bytes=int(num_candidates * bytes_per_candidate),
+        )
     if state["done"] != len(chunks):
         raise RuntimeError(
             f"pipeline deadlock: {state['done']}/{len(chunks)} chunks completed"

@@ -28,6 +28,7 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
+from repro import obs
 from repro.smartssd.link import LinkModel, p2p_link
 from repro.smartssd.nand import NANDFlash
 
@@ -181,22 +182,35 @@ def replay(
     nand = nand or NANDFlash()
     link = link or p2p_link()
 
-    total = 0.0
-    seq = rnd = 0
-    prev_end = None
-    for request in trace:
-        adjacent = prev_end is not None and 0 <= request.offset - prev_end <= sequential_gap
-        is_seq = adjacent and request.contiguous
-        if is_seq:
-            seq += 1
-        else:
-            rnd += 1
-        flash = nand.read_time(
-            request.length, sequential=is_seq, fragments=request.fragments
+    with obs.span("io_replay", requests=len(trace)) as sp:
+        total = 0.0
+        seq = rnd = 0
+        prev_end = None
+        for request in trace:
+            adjacent = (
+                prev_end is not None
+                and 0 <= request.offset - prev_end <= sequential_gap
+            )
+            is_seq = adjacent and request.contiguous
+            if is_seq:
+                seq += 1
+            else:
+                rnd += 1
+            flash = nand.read_time(
+                request.length, sequential=is_seq, fragments=request.fragments
+            )
+            wire = link.transfer_time(request.length)
+            total += max(flash, wire - link.request_latency_s) + link.request_latency_s
+            prev_end = request.offset + request.length
+        # replayed_bytes are *simulated* flash traffic, not host-link
+        # movement — a distinct attr keeps them out of the report's
+        # data-moved reconciliation.
+        sp.set(
+            replayed_bytes=int(trace.total_bytes),
+            simulated_s=total,
+            sequential=seq,
+            random=rnd,
         )
-        wire = link.transfer_time(request.length)
-        total += max(flash, wire - link.request_latency_s) + link.request_latency_s
-        prev_end = request.offset + request.length
     return TraceCost(
         total_time=total,
         sequential_requests=seq,

@@ -72,8 +72,10 @@ class TestFilters:
 
 
 class TestRegistry:
-    def test_all_five_rules_registered(self):
-        assert rule_ids() == ["NES001", "NES002", "NES003", "NES004", "NES005"]
+    def test_all_six_rules_registered(self):
+        assert rule_ids() == [
+            "NES001", "NES002", "NES003", "NES004", "NES005", "NES006",
+        ]
 
     def test_every_checker_has_pragma_and_description(self):
         for checker in all_checkers():

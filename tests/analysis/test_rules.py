@@ -1,4 +1,4 @@
-"""Known-good / known-bad fixture snippets for every rule NES001–NES005."""
+"""Known-good / known-bad fixture snippets for every rule NES001–NES006."""
 
 import numpy as np
 import pytest
@@ -429,3 +429,104 @@ class TestShapeContracts:
         x = np.random.default_rng(0).normal(size=(2, 3, 8, 8)).astype(np.float64)
         out = model.forward(x)
         assert out.shape == (2, 4)
+
+
+# -- NES006 with-managed spans ------------------------------------------------
+
+
+class TestSpanWith:
+    def test_bare_span_call_flagged(self, run_rule):
+        findings, _ = run_rule(
+            """
+            from repro import obs
+
+            def f():
+                sp = obs.span("epoch")
+                sp.set(x=1)
+            """,
+            OUT,
+            "NES006",
+        )
+        assert len(findings) == 1
+        assert "with" in findings[0].message
+
+    def test_span_as_expression_statement_flagged(self, run_rule):
+        findings, _ = run_rule(
+            """
+            from repro import obs
+
+            def f():
+                obs.span("epoch", epoch=0)
+            """,
+            OUT,
+            "NES006",
+        )
+        assert len(findings) == 1
+
+    def test_with_managed_spans_clean(self, run_rule):
+        findings, _ = run_rule(
+            """
+            from repro import obs
+
+            def f(tracer):
+                with obs.span("epoch", epoch=0) as ep:
+                    ep.set(loss=0.5)
+                    with tracer.span("selection_round") as sel:
+                        sel.set(selected=10)
+            """,
+            OUT,
+            "NES006",
+        )
+        assert findings == []
+
+    def test_return_position_exempt(self, run_rule):
+        """Factories hand the un-entered span to the caller (obs.span itself)."""
+        findings, _ = run_rule(
+            """
+            def helper(tracer, name):
+                return tracer.span(name)
+
+            def pair(tracer):
+                return tracer.span("a"), tracer.span("b")
+            """,
+            OUT,
+            "NES006",
+        )
+        assert findings == []
+
+    def test_span_wrapped_in_call_on_return_still_flagged(self, run_rule):
+        findings, _ = run_rule(
+            """
+            def f(tracer):
+                return list(tracer.span("epoch"))
+            """,
+            OUT,
+            "NES006",
+        )
+        assert len(findings) == 1
+
+    def test_pragma_suppresses(self, run_rule):
+        findings, suppressed = run_rule(
+            """
+            from repro import obs
+
+            def f():
+                sp = obs.span("epoch")  # lint: allow-span-with(kept for a doc example)
+                return None
+            """,
+            OUT,
+            "NES006",
+        )
+        assert findings == []
+        assert len(suppressed) == 1
+
+    def test_unrelated_span_free_code_clean(self, run_rule):
+        findings, _ = run_rule(
+            """
+            def spanner(x):
+                return x.spanish()
+            """,
+            OUT,
+            "NES006",
+        )
+        assert findings == []

@@ -37,6 +37,18 @@ VIOLATIONS = {
         "repro/nn/bad.py",
         "class Layer:\n    def forward(self, x):\n        return x\n",
     ),
+    "NES006": (
+        "repro/anywhere/bad.py",
+        textwrap.dedent(
+            """
+            from repro import obs
+
+            def f():
+                sp = obs.span("epoch")
+                sp.set(x=1)
+            """
+        ),
+    ),
 }
 
 
@@ -66,7 +78,7 @@ class TestSelfLint:
     def test_list_rules_prints_table(self, capsys):
         assert main(["lint", "--list-rules"]) == 0
         out = capsys.readouterr().out
-        for rule in ("NES001", "NES002", "NES003", "NES004", "NES005"):
+        for rule in ("NES001", "NES002", "NES003", "NES004", "NES005", "NES006"):
             assert rule in out
 
     def test_missing_path_exits_2(self, capsys):

@@ -67,6 +67,56 @@ class TestTrainingHistory:
         assert "nessa" in dumped
 
 
+class TestTimeAndMovementAggregates:
+    def _history(self):
+        h = TrainingHistory(method="nessa")
+        h.append(
+            EpochRecord(
+                epoch=0, train_loss=1.0, test_accuracy=0.3, subset_size=100,
+                subset_fraction=0.5, samples_trained=100,
+                selection_pairwise_bytes=400, feedback_bytes=50,
+                wall_time_s=2.0, selection_time_s=0.5,
+            )
+        )
+        h.append(
+            EpochRecord(
+                epoch=1, train_loss=0.8, test_accuracy=0.4, subset_size=100,
+                subset_fraction=0.5, samples_trained=100,
+                selection_pairwise_bytes=600, feedback_bytes=70,
+                wall_time_s=3.0, selection_time_s=1.0,
+            )
+        )
+        return h
+
+    def test_wall_and_selection_time_totals(self):
+        h = self._history()
+        assert h.total_wall_time_s == pytest.approx(5.0)
+        assert h.total_selection_time_s == pytest.approx(1.5)
+        assert h.selection_overhead_fraction == pytest.approx(0.3)
+
+    def test_overhead_zero_when_untimed(self):
+        h = TrainingHistory()
+        h.append(record(0, 0.5))  # default wall_time_s == 0.0
+        assert h.selection_overhead_fraction == 0.0
+
+    def test_data_movement_ledger(self):
+        h = self._history()
+        assert h.total_feedback_bytes == 120
+        assert h.total_selection_pairwise_bytes == 1000
+        assert h.data_movement_bytes == 1120
+
+    def test_to_dict_carries_time_and_movement(self):
+        d = self._history().to_dict()
+        assert d["total_wall_time_s"] == pytest.approx(5.0)
+        assert d["total_selection_time_s"] == pytest.approx(1.5)
+        assert d["data_movement_bytes"] == 1120
+
+    def test_defaults_keep_old_construction_sites_working(self):
+        r = record(0, 0.5)
+        assert r.wall_time_s == 0.0
+        assert r.selection_time_s == 0.0
+
+
 class TestEvaluateAccuracy:
     def test_matches_manual_computation(self):
         rng = np.random.default_rng(0)

@@ -1,0 +1,34 @@
+"""Fixtures for the observability tests.
+
+The tracer and metrics registry are process-wide globals; every test
+here gets a clean slate and cannot leak an installed instance into
+other test modules.
+"""
+
+import pytest
+
+from repro import obs
+
+
+@pytest.fixture(autouse=True)
+def _clean_obs_globals():
+    obs.set_tracer(None)
+    obs.set_metrics(None)
+    yield
+    obs.set_tracer(None)
+    obs.set_metrics(None)
+
+
+@pytest.fixture
+def tracer():
+    """A freshly-installed tracer (uninstalled again by the autouse fixture)."""
+    t = obs.Tracer(run="test")
+    obs.set_tracer(t)
+    return t
+
+
+@pytest.fixture
+def registry():
+    r = obs.MetricsRegistry()
+    obs.set_metrics(r)
+    return r

@@ -1,0 +1,55 @@
+"""CLI surface: --trace flags produce traces repro.cli report can read."""
+
+import json
+
+from repro.cli import main
+
+
+class TestSystemTrace:
+    def test_system_trace_then_report_with_chrome_export(self, tmp_path, capsys):
+        trace_path = tmp_path / "system.jsonl"
+        assert main(["system", "--dataset", "cifar10",
+                     "--trace", str(trace_path)]) == 0
+        assert trace_path.exists()
+        capsys.readouterr()
+
+        chrome_path = tmp_path / "system.chrome.json"
+        assert main(["report", str(trace_path),
+                     "--chrome", str(chrome_path)]) == 0
+        out = capsys.readouterr().out
+        assert "strategy_price" in out
+        assert "run: system-cifar10" in out
+
+        doc = json.loads(chrome_path.read_text())
+        names = {e["name"] for e in doc["traceEvents"]}
+        assert "strategy_price" in names
+        ids = {
+            e["args"]["id"]
+            for e in doc["traceEvents"]
+            if e["ph"] == "X"
+        }
+        assert {"strategy_price@full", "strategy_price@nessa"} <= ids
+
+    def test_trace_flag_restores_globals_after_run(self, tmp_path):
+        from repro import obs
+
+        assert main(["system", "--trace", str(tmp_path / "t.jsonl")]) == 0
+        assert obs.get_tracer() is None
+        assert not obs.enabled()
+
+
+class TestReportErrors:
+    def test_missing_trace_exits_2(self, tmp_path, capsys):
+        assert main(["report", str(tmp_path / "nope.jsonl")]) == 2
+        assert "report:" in capsys.readouterr().out
+
+    def test_non_trace_file_exits_2(self, tmp_path, capsys):
+        bad = tmp_path / "bad.jsonl"
+        bad.write_text('{"kind": "wat"}\n')
+        assert main(["report", str(bad)]) == 2
+
+    def test_empty_trace_reports_gracefully(self, tmp_path, capsys):
+        empty = tmp_path / "empty.jsonl"
+        empty.write_text('{"kind": "meta", "schema": 1, "run": "idle"}\n')
+        assert main(["report", str(empty)]) == 0
+        assert "no spans" in capsys.readouterr().out

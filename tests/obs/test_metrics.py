@@ -1,0 +1,77 @@
+"""Metrics registry: instruments, snapshots, and the null no-op mode."""
+
+import pytest
+
+from repro import obs
+from repro.obs.metrics import NULL_REGISTRY
+
+
+class TestInstruments:
+    def test_counter_accumulates_and_rejects_negatives(self, registry):
+        c = registry.counter("proxy_cache.hits")
+        c.inc()
+        c.inc(4)
+        assert c.value == 5
+        with pytest.raises(ValueError):
+            c.inc(-1)
+
+    def test_same_name_returns_same_instrument(self, registry):
+        assert registry.counter("a") is registry.counter("a")
+        assert registry.timer("t") is registry.timer("t")
+
+    def test_gauge_last_write_wins(self, registry):
+        g = registry.gauge("subset.fraction")
+        g.set(0.3)
+        g.set(0.21)
+        assert g.value == 0.21
+
+    def test_timer_statistics(self, registry):
+        t = registry.timer("round")
+        for s in (0.1, 0.3, 0.2):
+            t.observe(s)
+        d = t.to_dict()
+        assert d["count"] == 3
+        assert d["total_s"] == pytest.approx(0.6)
+        assert d["mean_s"] == pytest.approx(0.2)
+        assert d["min_s"] == pytest.approx(0.1)
+        assert d["max_s"] == pytest.approx(0.3)
+        with pytest.raises(ValueError):
+            t.observe(-0.1)
+
+    def test_snapshot_is_sorted_and_jsonable(self, registry):
+        registry.counter("b").inc(2)
+        registry.counter("a").inc(1)
+        registry.gauge("g").set(1.5)
+        registry.timer("t").observe(0.1)
+        snap = registry.snapshot()
+        assert list(snap["counters"]) == ["a", "b"]
+        assert snap["counters"] == {"a": 1, "b": 2}
+        assert snap["gauges"] == {"g": 1.5}
+        assert snap["timers"]["t"]["count"] == 1
+
+    def test_reset_clears_everything(self, registry):
+        registry.counter("a").inc()
+        registry.reset()
+        assert registry.snapshot()["counters"] == {}
+
+
+class TestNullMode:
+    def test_default_registry_is_the_shared_null(self):
+        assert obs.metrics() is NULL_REGISTRY
+
+    def test_null_instruments_are_shared_noops(self):
+        null = obs.metrics()
+        assert null.counter("x") is null.counter("y")
+        null.counter("x").inc(10)
+        null.gauge("g").set(3.0)
+        null.timer("t").observe(1.0)
+        assert null.snapshot() == {"counters": {}, "gauges": {}, "timers": {}}
+
+    def test_set_metrics_installs_and_restores(self):
+        real = obs.MetricsRegistry()
+        previous = obs.set_metrics(real)
+        assert previous is NULL_REGISTRY
+        obs.metrics().counter("hit").inc()
+        assert real.counter("hit").value == 1
+        assert obs.set_metrics(None) is real
+        assert obs.metrics() is NULL_REGISTRY

@@ -1,0 +1,127 @@
+"""Sinks: JSONL round-trip fidelity and Chrome trace_event schema validity."""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro import obs
+from repro.obs.sinks import SCHEMA_VERSION
+
+
+def _record_run(tracer):
+    with obs.span("epoch", epoch=0) as ep:
+        with obs.span("selection_round") as sel:
+            sel.set(pairwise_bytes=np.int64(4096), selected=np.int32(12))
+        ep.set(train_loss=np.float64(1.25))
+    tracer.add_completed("unit", key=(1, 0, 0, 0), worker=777, dur_s=0.5)
+
+
+class TestJsonlRoundTrip:
+    def test_meta_spans_metrics_round_trip(self, tmp_path, tracer, registry):
+        _record_run(tracer)
+        registry.counter("proxy_cache.hits").inc(3)
+        path = tmp_path / "trace.jsonl"
+        obs.write_jsonl(path, tracer, registry)
+
+        lines = [json.loads(l) for l in path.read_text().splitlines()]
+        assert lines[0]["kind"] == "meta"
+        assert lines[0]["schema"] == SCHEMA_VERSION
+        assert lines[0]["run"] == "test"
+        assert lines[-1]["kind"] == "metrics"
+
+        trace = obs.read_trace(path)
+        assert trace["meta"]["run"] == "test"
+        assert trace["metrics"]["counters"] == {"proxy_cache.hits": 3}
+        assert [s["id"] for s in trace["spans"]] == [
+            "epoch#0/selection_round#0",
+            "epoch#0",
+            "unit@1-0-0-0",
+        ]
+        sel = trace["spans"][0]
+        assert sel["parent"] == "epoch#0"
+        assert sel["attrs"] == {"pairwise_bytes": 4096, "selected": 12}
+        assert trace["spans"][2]["worker"] == 777
+
+    def test_numpy_attrs_serialize_to_plain_json(self, tmp_path, tracer):
+        _record_run(tracer)
+        path = tmp_path / "trace.jsonl"
+        obs.write_jsonl(path, tracer)
+        trace = obs.read_trace(path)
+        epoch = trace["spans"][1]
+        assert isinstance(epoch["attrs"]["train_loss"], float)
+        assert trace["metrics"] is None
+
+    def test_unsupported_schema_rejected(self, tmp_path):
+        path = tmp_path / "bad.jsonl"
+        path.write_text('{"kind": "meta", "schema": 999, "run": "x"}\n')
+        with pytest.raises(ValueError, match="schema"):
+            obs.read_trace(path)
+
+    def test_unknown_kind_rejected(self, tmp_path):
+        path = tmp_path / "bad.jsonl"
+        path.write_text(
+            '{"kind": "meta", "schema": %d, "run": "x"}\n{"kind": "wat"}\n'
+            % SCHEMA_VERSION
+        )
+        with pytest.raises(ValueError, match="kind"):
+            obs.read_trace(path)
+
+    def test_missing_meta_rejected(self, tmp_path):
+        path = tmp_path / "bad.jsonl"
+        path.write_text("")
+        with pytest.raises(ValueError, match="meta"):
+            obs.read_trace(path)
+
+
+class TestChromeExport:
+    def test_schema_shape(self, tmp_path, tracer):
+        _record_run(tracer)
+        doc = obs.to_chrome_trace(
+            [r.to_dict() for r in tracer.records], run="test"
+        )
+        assert set(doc) == {"traceEvents", "displayTimeUnit"}
+        assert doc["displayTimeUnit"] == "ms"
+        meta, *events = doc["traceEvents"]
+        assert meta["ph"] == "M"
+        assert meta["name"] == "process_name"
+        assert meta["args"]["name"] == "repro:test"
+        assert len(events) == len(tracer.records)
+        for event, record in zip(events, tracer.records):
+            assert event["ph"] == "X"
+            assert event["cat"] == "repro"
+            assert event["name"] == record.name
+            assert event["ts"] == pytest.approx(record.start_s * 1e6)
+            assert event["dur"] == pytest.approx(max(0.0, record.dur_s) * 1e6)
+            assert event["pid"] == 0
+            assert event["args"]["id"] == record.id
+        worker_event = next(e for e in events if e["name"] == "unit")
+        assert worker_event["tid"] == 777
+
+    def test_written_file_is_loadable_json(self, tmp_path, tracer):
+        _record_run(tracer)
+        path = tmp_path / "trace.chrome.json"
+        out = obs.write_chrome_trace(
+            path, [r.to_dict() for r in tracer.records], run="test"
+        )
+        assert out == str(path)
+        doc = json.loads(path.read_text())
+        # every event field must already be a plain JSON type (Perfetto
+        # rejects NaN/Infinity and non-numeric ts/dur)
+        for event in doc["traceEvents"]:
+            if event["ph"] == "X":
+                assert isinstance(event["ts"], (int, float))
+                assert isinstance(event["dur"], (int, float))
+            json.dumps(event, allow_nan=False)
+
+    def test_render_summary_lists_phases(self, tracer):
+        _record_run(tracer)
+        trace = {
+            "meta": {"run": "test"},
+            "spans": [r.to_dict() for r in tracer.records],
+            "metrics": None,
+        }
+        out = obs.render_summary(trace)
+        assert "run: test" in out
+        for name in ("epoch", "selection_round", "unit"):
+            assert name in out

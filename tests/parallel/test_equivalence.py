@@ -138,3 +138,67 @@ class TestGreediEquivalence:
         )
         assert np.array_equal(serial_idx, par_idx)
         assert np.array_equal(serial_w, par_w)
+
+
+class TestCacheMetricsSurfacing:
+    """ProxyCache hits/misses surface identically for serial and parallel."""
+
+    def _run_rounds(self, train, model, workers):
+        from repro import obs
+
+        registry = obs.MetricsRegistry()
+        previous = obs.set_metrics(registry)
+        try:
+            config = NeSSAConfig(subset_fraction=0.2, use_biasing=False,
+                                 seed=4, workers=workers)
+            with NeSSASelector(config, chunk_select=16) as selector:
+                for _ in range(3):
+                    selector.select(train, 0.2, model)
+                stats = selector.proxy_cache_stats
+        finally:
+            obs.set_metrics(previous)
+        return registry.snapshot()["counters"], stats
+
+    @pytest.mark.parametrize("workers", WORKER_COUNTS)
+    def test_registry_counters_match_instance_stats(self, workers,
+                                                    train_test_split, tiny_model):
+        train, _ = train_test_split
+        counters, stats = self._run_rounds(train, tiny_model, workers)
+        # Same (weights, pool, mode) every round: 1 miss, then 2 hits.
+        assert stats["misses"] == 1
+        assert stats["hits"] == 2
+        assert stats["hit_rate"] == pytest.approx(2 / 3)
+        assert counters["proxy_cache.misses"] == stats["misses"]
+        assert counters["proxy_cache.hits"] == stats["hits"]
+        assert counters["selection.rounds"] == 3
+
+    def test_hit_pattern_is_worker_count_invariant(self, train_test_split,
+                                                   tiny_model):
+        train, _ = train_test_split
+        outcomes = {
+            w: self._run_rounds(train, tiny_model, w) for w in WORKER_COUNTS
+        }
+
+        def cache_view(counters):
+            # shm.* counters are parallel-only by design; the cache and
+            # selection ledgers must not depend on the worker count.
+            return {
+                k: v
+                for k, v in counters.items()
+                if k.startswith(("proxy_cache.", "selection."))
+            }
+
+        reference_counters, reference_stats = outcomes[WORKER_COUNTS[0]]
+        for counters, stats in outcomes.values():
+            assert cache_view(counters) == cache_view(reference_counters)
+            assert stats == reference_stats
+
+    def test_disabled_cache_reports_zero_stats(self, train_test_split, tiny_model):
+        train, _ = train_test_split
+        config = NeSSAConfig(subset_fraction=0.2, use_biasing=False, seed=4,
+                             proxy_cache_entries=0)
+        with NeSSASelector(config, chunk_select=16) as selector:
+            selector.select(train, 0.2, tiny_model)
+            stats = selector.proxy_cache_stats
+        assert stats["lookups"] == 0
+        assert stats["hit_rate"] == 0.0
