@@ -64,3 +64,33 @@ def test_parallel_selection_round_speedup_at_4_workers():
     assert speedup >= 2.5, (
         f"4-worker selection round only {speedup:.2f}x vs serial"
     )
+
+
+@pytest.mark.perf
+@pytest.mark.skipif(
+    (os.cpu_count() or 1) < 4,
+    reason="overlap needs spare cores for the selection/prefetch threads",
+)
+def test_overlapped_epoch_speedup_vs_serial():
+    # ISSUE 6 acceptance: overlapped NeSSA epochs >= 1.5x the serial
+    # schedule when selection and training costs are comparable.  On a
+    # 1-core box the threads only contend and the committed baseline
+    # honestly records ~1x, so this is core-gated like the parallel test.
+    r = bench.run_bench("pipeline.serial_vs_overlap", size="default", repeats=3)
+    assert r.speedup_vs_seed is not None
+    assert r.speedup_vs_seed >= 1.5, (
+        f"overlapped epochs only {r.speedup_vs_seed:.2f}x vs serial schedule"
+    )
+
+
+@pytest.mark.perf
+@pytest.mark.skipif(
+    (os.cpu_count() or 1) < 4,
+    reason="prefetch worker needs a spare core to hide gather+augment",
+)
+def test_loader_prefetch_hides_gather_cost():
+    r = bench.run_bench("pipeline.loader_prefetch", size="default", repeats=3)
+    assert r.speedup_vs_seed is not None
+    assert r.speedup_vs_seed >= 1.1, (
+        f"prefetching loader only {r.speedup_vs_seed:.2f}x vs in-thread gather"
+    )

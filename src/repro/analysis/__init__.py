@@ -17,7 +17,12 @@ Entry point: ``python -m repro.cli lint`` (see ``--help``); inline
 suppression: ``# lint: allow-<pragma>(reason)`` with a mandatory reason.
 """
 
-from repro.analysis.baseline import load_baseline, partition_findings, write_baseline
+from repro.analysis.baseline import (
+    load_baseline,
+    partition_findings,
+    unjustified_entries,
+    write_baseline,
+)
 from repro.analysis.engine import lint_paths, lint_source
 from repro.analysis.findings import Finding
 from repro.analysis.registry import all_checkers, rule_ids
@@ -30,5 +35,6 @@ __all__ = [
     "lint_source",
     "load_baseline",
     "write_baseline",
+    "unjustified_entries",
     "partition_findings",
 ]

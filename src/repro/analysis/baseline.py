@@ -9,8 +9,10 @@ stops matching and resurfaces.
 
 Workflow: run ``repro.cli lint --write-baseline`` to snapshot current
 findings, then edit each entry's ``justification`` (the writer stamps a
-TODO); CI runs ``lint`` against the committed file and fails on anything
-not covered.
+placeholder); CI runs ``lint`` against the committed file and fails on
+anything not covered, and ``lint --check-baseline`` fails on any entry
+whose justification is still the placeholder (or empty) — a grandfathered
+finding nobody argued for is just a hidden violation.
 """
 
 from __future__ import annotations
@@ -20,9 +22,20 @@ from collections import Counter
 
 from repro.analysis.findings import Finding
 
-__all__ = ["load_baseline", "write_baseline", "partition_findings", "BASELINE_VERSION"]
+__all__ = [
+    "load_baseline",
+    "write_baseline",
+    "partition_findings",
+    "unjustified_entries",
+    "BASELINE_VERSION",
+    "JUSTIFICATION_PLACEHOLDER",
+]
 
 BASELINE_VERSION = 1
+
+# Stamped by the writer; lint --check-baseline rejects entries still
+# carrying it (older baselines used "TODO: justify or fix" — also caught).
+JUSTIFICATION_PLACEHOLDER = "UNJUSTIFIED: explain why this finding stays, or fix it"
 
 
 def load_baseline(path: str) -> Counter:
@@ -41,7 +54,12 @@ def load_baseline(path: str) -> Counter:
 
 
 def write_baseline(path: str, findings: list[Finding]) -> None:
-    """Snapshot ``findings`` as a baseline (justifications left as TODOs)."""
+    """Snapshot ``findings`` as a baseline (justifications left unjustified).
+
+    The placeholder justification fails ``lint --check-baseline``, so a
+    freshly written baseline cannot land in CI until every entry has been
+    argued for.
+    """
     doc = {
         "version": BASELINE_VERSION,
         "findings": [
@@ -51,7 +69,7 @@ def write_baseline(path: str, findings: list[Finding]) -> None:
                 "line": f.line,
                 "fingerprint": f.fingerprint,
                 "message": f.message,
-                "justification": "TODO: justify or fix",
+                "justification": JUSTIFICATION_PLACEHOLDER,
             }
             for f in sorted(findings, key=Finding.sort_key)
         ],
@@ -59,6 +77,34 @@ def write_baseline(path: str, findings: list[Finding]) -> None:
     with open(path, "w", encoding="utf-8") as f:
         json.dump(doc, f, indent=2)
         f.write("\n")
+
+
+def unjustified_entries(path: str) -> list[dict]:
+    """Baseline entries whose justification is missing or a placeholder.
+
+    An entry counts as unjustified when its ``justification`` is absent,
+    blank, the writer's placeholder, or any string starting with ``TODO``
+    / ``UNJUSTIFIED`` (case-insensitive) — the gate behind
+    ``repro.cli lint --check-baseline``.
+    """
+    with open(path, encoding="utf-8") as f:
+        doc = json.load(f)
+    if doc.get("version") != BASELINE_VERSION:
+        raise ValueError(
+            f"unsupported baseline version {doc.get('version')!r} in {path} "
+            f"(expected {BASELINE_VERSION})"
+        )
+    bad = []
+    for entry in doc.get("findings", []):
+        justification = str(entry.get("justification") or "").strip()
+        lowered = justification.lower()
+        if (
+            not justification
+            or lowered.startswith("todo")
+            or lowered.startswith("unjustified")
+        ):
+            bad.append(entry)
+    return bad
 
 
 def partition_findings(

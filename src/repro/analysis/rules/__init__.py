@@ -8,6 +8,7 @@
 | NES004 | allow-shm-lifecycle    | shm segments released on all exit paths |
 | NES005 | allow-shape-contract   | public nn forwards carry composing shape contracts |
 | NES006 | allow-span-with        | obs spans are with-managed at the call site |
+| NES007 | allow-pool-lease       | buffer-pool leases released on all exit paths |
 
 (NES000 is the engine's parse-failure pseudo-rule; it has no pragma and
 cannot be baselined.)
@@ -16,6 +17,7 @@ cannot be baselined.)
 from repro.analysis.rules import (  # noqa: F401 - imports register checkers
     determinism,
     exceptions,
+    pool,
     precision,
     shape,
     shm,

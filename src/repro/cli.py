@@ -9,9 +9,10 @@ Commands
 ``scaling``  the multi-SmartSSD scaling curve (the paper's future work).
 ``bench``    run the hot-path microbenchmarks; ``--check`` compares to the
              committed BENCH_*.json baselines and exits non-zero on regression.
-``lint``     run the repro.analysis static invariant checks (NES001-NES006)
+``lint``     run the repro.analysis static invariant checks (NES001-NES007)
              against the source tree; exits non-zero on findings not covered
-             by the committed baseline.
+             by the committed baseline; ``--check-baseline`` instead verifies
+             every baseline entry carries a justification.
 ``report``   aggregate a ``--trace`` JSONL run-trace into the paper's
              headline table (time per phase, bytes over the link,
              selection overhead); ``--chrome`` converts it for Perfetto.
@@ -87,6 +88,9 @@ def _cmd_train(args) -> int:
             biasing_drop_period=max(3, args.epochs // 3),
             seed=args.seed,
             workers=args.workers,
+            overlap=args.overlap,
+            stale_feedback=args.stale_feedback,
+            prefetch_depth=args.prefetch_depth,
         )
     with _traced(args.trace, run=f"train-{args.method}-{args.dataset}"):
         result = run_method(
@@ -118,7 +122,9 @@ def _cmd_system(args) -> int:
     from repro import obs
     from repro.pipeline.system import SystemModel, average_speedups, data_movement_summary
 
-    model = SystemModel(args.dataset, selection_workers=args.workers)
+    model = SystemModel(
+        args.dataset, selection_workers=args.workers, host_overlap=args.overlap
+    )
     with _traced(args.trace, run=f"system-{args.dataset}"):
         pricers = {
             "full": model.full_epoch,
@@ -198,6 +204,7 @@ def _cmd_bench(args) -> int:
     if not args.check:
         os.makedirs(args.out_dir, exist_ok=True)
     regressed = []
+    missing = []
     with _traced(args.trace, run=f"bench-{args.group}"):
         for group in groups:
             results = bench.run_group(
@@ -219,7 +226,13 @@ def _cmd_bench(args) -> int:
                 baseline_path = os.path.join(args.baseline_dir or args.out_dir,
                                              f"BENCH_{group}.json")
                 if not os.path.exists(baseline_path):
-                    print(f"  no baseline at {baseline_path}; skipping check")
+                    # A missing baseline is a broken gate, not a pass: new
+                    # groups must commit one (silently skipping is how the
+                    # pipeline group would have dodged regression checking).
+                    print(f"  MISSING BASELINE for group {group!r} at "
+                          f"{baseline_path} — run bench without --check and "
+                          "commit the result")
+                    missing.append(group)
                     continue
                 for row in bench.compare(results, bench.load_results(baseline_path),
                                          tolerance=args.tolerance):
@@ -234,10 +247,12 @@ def _cmd_bench(args) -> int:
                 bench.write_results(out_path, results)
                 print(f"  wrote {out_path}")
 
+    if missing:
+        print(f"{len(missing)} group(s) missing a committed baseline: "
+              f"{', '.join(missing)}")
     if regressed:
         print(f"{len(regressed)} bench(es) regressed beyond tolerance")
-        return 1
-    return 0
+    return 1 if (regressed or missing) else 0
 
 
 def _cmd_lint(args) -> int:
@@ -249,12 +264,32 @@ def _cmd_lint(args) -> int:
         lint_paths,
         load_baseline,
         partition_findings,
+        unjustified_entries,
         write_baseline,
     )
 
     if args.list_rules:
         for checker in all_checkers():
             print(f"{checker.rule}  allow-{checker.pragma:18s} {checker.description}")
+        return 0
+
+    if args.check_baseline:
+        if not os.path.exists(args.baseline):
+            print(f"lint: no baseline at {args.baseline}; nothing to check")
+            return 0
+        try:
+            bad = unjustified_entries(args.baseline)
+        except (ValueError, json.JSONDecodeError) as exc:
+            print(f"lint: {exc}")
+            return 2
+        for entry in bad:
+            print(f"{entry['path']}:{entry.get('line', '?')}: {entry['rule']} "
+                  "baselined without justification")
+        if bad:
+            print(f"lint: {len(bad)} unjustified baseline entr"
+                  f"{'y' if len(bad) == 1 else 'ies'} in {args.baseline}")
+            return 1
+        print(f"lint: every {args.baseline} entry is justified")
         return 0
 
     select = set(args.select.split(",")) if args.select else None
@@ -342,6 +377,18 @@ def build_parser() -> argparse.ArgumentParser:
     train.add_argument("--workers", type=int, default=1,
                        help="selection-engine process count (1 = serial; "
                             "results are identical for any count)")
+    train.add_argument("--overlap", action="store_true",
+                       help="run NeSSA selection rounds on a background "
+                            "thread, overlapped with training")
+    train.add_argument("--stale-feedback", choices=["stale", "off"],
+                       default="stale",
+                       help="overlap policy: 'stale' scores with round t-1 "
+                            "weights (the paper's feedback latency); 'off' "
+                            "falls back to serial semantics (bit-identical)")
+    train.add_argument("--prefetch-depth", type=int, default=0,
+                       help="ready-batch queue depth of the prefetching "
+                            "loader (0 = serial in-thread loader; batch "
+                            "streams are identical for any depth)")
     train.add_argument("--trace", default=None, metavar="PATH",
                        help="record a repro.obs run-trace (JSONL) to PATH")
 
@@ -349,6 +396,10 @@ def build_parser() -> argparse.ArgumentParser:
     system.add_argument("--dataset", choices=sorted(DATASETS), default="cifar10")
     system.add_argument("--workers", type=int, default=1,
                         help="host-CPU cores modelled for CPU-side selection")
+    system.add_argument("--overlap", action="store_true",
+                        help="model host-side selection/training overlap for "
+                             "the CPU baselines (NeSSA always overlaps "
+                             "on-device)")
     system.add_argument("--trace", default=None, metavar="PATH",
                         help="record a repro.obs run-trace (JSONL) to PATH")
 
@@ -359,7 +410,9 @@ def build_parser() -> argparse.ArgumentParser:
     scaling.add_argument("--max-devices", type=int, default=8)
 
     bench = sub.add_parser("bench", help="run hot-path microbenchmarks")
-    bench.add_argument("--group", choices=["selection", "nn", "parallel", "all"],
+    bench.add_argument("--group",
+                       choices=["selection", "nn", "parallel", "pipeline",
+                                "all"],
                        default="all")
     bench.add_argument("--size", choices=["tiny", "default"], default="default")
     bench.add_argument("--repeats", type=int, default=5)
@@ -396,6 +449,9 @@ def build_parser() -> argparse.ArgumentParser:
                       help="report every finding, ignoring the baseline")
     lint.add_argument("--write-baseline", action="store_true",
                       help="snapshot current findings into --baseline and exit 0")
+    lint.add_argument("--check-baseline", action="store_true",
+                      help="fail if any --baseline entry lacks a justification "
+                           "(CI gate; runs instead of linting)")
     lint.add_argument("--select", default=None, metavar="RULES",
                       help="comma-separated rule ids to run (e.g. NES001,NES003)")
     lint.add_argument("--ignore", default=None, metavar="RULES",

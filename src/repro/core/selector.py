@@ -105,27 +105,42 @@ class NeSSASelector:
         self.loss_history.drop(marked)
         return len(marked)
 
+    def snapshot_candidates(self, dataset: Dataset) -> np.ndarray:
+        """Candidate positions under the *current* biasing state.
+
+        The overlapped trainer calls this on the training thread before
+        handing the round to a worker thread, so the worker never reads
+        the (mutable) loss history: :meth:`select` with an explicit
+        ``candidates`` array touches only state the training thread
+        leaves alone during the overlap window.
+        """
+        if self.config.use_biasing:
+            candidate_ids = self.loss_history.filter_candidates(dataset.ids)
+            id_set = set(int(i) for i in candidate_ids)
+            return np.flatnonzero([int(i) in id_set for i in dataset.ids])
+        return np.arange(len(dataset), dtype=np.int64)
+
     def select(
         self,
         dataset: Dataset,
         fraction: float,
         model,
+        candidates: np.ndarray | None = None,
     ) -> SelectionResult:
         """One selection round over ``dataset`` at the given fraction.
 
         ``model`` must be the quantized feedback replica when feedback is
         on (the trainer guarantees this); passing the live model emulates
-        a hypothetical unquantized FPGA.
+        a hypothetical unquantized FPGA.  ``candidates`` substitutes a
+        pool snapshot taken earlier with :meth:`snapshot_candidates`
+        (overlapped rounds); ``None`` snapshots now — the two are
+        identical when the biasing state has not changed in between.
         """
         if not 0.0 < fraction <= 1.0:
             raise ValueError("fraction must be in (0, 1]")
 
-        if self.config.use_biasing:
-            candidate_ids = self.loss_history.filter_candidates(dataset.ids)
-            id_set = set(int(i) for i in candidate_ids)
-            candidates = np.flatnonzero([int(i) in id_set for i in dataset.ids])
-        else:
-            candidates = np.arange(len(dataset), dtype=np.int64)
+        if candidates is None:
+            candidates = self.snapshot_candidates(dataset)
 
         proxy = compute_gradient_proxies(
             model,

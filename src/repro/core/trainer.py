@@ -32,9 +32,11 @@ from repro.core.schedule import SubsetSizeSchedule
 from repro.core.selector import NeSSASelector
 from repro.data.dataset import Dataset, Subset
 from repro.data.loader import DataLoader
+from repro.data.prefetch import PrefetchingDataLoader
 from repro.nn.loss import CrossEntropyLoss
 from repro.nn.modules import Module
 from repro.nn.optim import SGD, MultiStepLR
+from repro.nn.scratch import BufferPool
 
 __all__ = ["FullTrainer", "SubsetTrainer", "NeSSATrainer"]
 
@@ -228,8 +230,34 @@ class NeSSATrainer(_BaseTrainer):
             shrink=config.dynamic_shrink,
             enabled=config.dynamic_subset,
         )
+        # One pool for the whole run so epoch 2+ serves every batch
+        # buffer from the free list (depth queued + consumed + filling).
+        self._loader_pool = (
+            BufferPool(max_free_per_key=config.prefetch_depth + 2)
+            if config.prefetch_depth > 0
+            else None
+        )
+
+    def _make_loader(self, subset: Subset, epoch: int) -> DataLoader:
+        """The epoch's loader: prefetching when configured, else serial.
+
+        Both paths derive batch order from ``seed + epoch`` via the same
+        helper, so the streams are bit-identical at any depth.
+        """
+        if self.config.prefetch_depth > 0:
+            return PrefetchingDataLoader(
+                subset, self.recipe.batch_size, shuffle=True,
+                seed=self.config.seed + epoch,
+                depth=self.config.prefetch_depth, pool=self._loader_pool,
+            )
+        return DataLoader(
+            subset, self.recipe.batch_size, shuffle=True,
+            seed=self.config.seed + epoch,
+        )
 
     def train(self, train_set: Dataset, test_set: Dataset) -> TrainingHistory:
+        if self.config.overlap:
+            return self._train_overlapped(train_set, test_set)
         history = TrainingHistory(method=self.name)
         # Initial feedback sync: the FPGA starts from the initial weights.
         # Recorded as run setup, not as a `feedback_quantize` link span —
@@ -269,10 +297,7 @@ class NeSSATrainer(_BaseTrainer):
                     proxy_flops = result.proxy_flops
                     pairwise = result.pairwise_bytes
 
-                loader = DataLoader(
-                    subset, self.recipe.batch_size, shuffle=True,
-                    seed=self.config.seed + epoch
-                )
+                loader = self._make_loader(subset, epoch)
                 mean_loss, per_sample, ids = self._train_one_epoch(loader)
                 self.selector.record_epoch_losses(ids, per_sample)
 
@@ -305,4 +330,105 @@ class NeSSATrainer(_BaseTrainer):
                     selection_time_s=selection_s,
                 )
             )
+        return history
+
+    def _train_overlapped(self, train_set: Dataset, test_set: Dataset) -> TrainingHistory:
+        """The NeSSA loop with selection hidden behind training.
+
+        Schedule per epoch *e* (``stale_feedback="stale"``):
+
+        1. apply the biasing drop, consume the round launched during
+           epoch *e-1* (epoch 0 selects synchronously);
+        2. launch epoch *e+1*'s round on a worker thread — candidates
+           snapshotted here, scored with the feedback weights synced
+           after epoch *e-1* (stale by one round, as on the device);
+        3. train epoch *e* — the overlap window;
+        4. join the round *before* recording losses / syncing feedback,
+           so the worker never races the state it reads.
+
+        With ``stale_feedback="off"`` the round runs synchronously at
+        step 1 (strict mode) and the loop reproduces :meth:`train`'s
+        serial history and trace bit-for-bit.
+        """
+        # Imported here: repro.pipeline's package init imports this module.
+        from repro.pipeline.overlap import AsyncSelectionRound
+
+        history = TrainingHistory(method=self.name)
+        with obs.span("run_setup", method=self.name) as setup:
+            feedback_bytes = self.feedback.sync(self.model)
+            setup.set(feedback_sync_bytes=int(feedback_bytes))
+
+        stale = self.config.stale_feedback == "stale"
+        subset: Subset | None = None
+        fraction = self.schedule.fraction
+        with AsyncSelectionRound(self.selector, strict=not stale) as round_:
+            for epoch in range(self.recipe.epochs):
+                epoch_t0 = time.perf_counter()
+                selection_s = 0.0
+                with obs.span("epoch", epoch=epoch, method=self.name) as ep:
+                    dropped = self.selector.maybe_drop_learned(train_set, epoch)
+
+                    selection_ran = False
+                    proxy_flops = 0.0
+                    pairwise = 0
+                    if subset is None or epoch % self.config.select_every == 0:
+                        select_t0 = time.perf_counter()
+                        result = round_.consume(
+                            train_set, fraction, self.feedback.selection_model, epoch
+                        )
+                        selection_s = time.perf_counter() - select_t0
+                        weights = result.weights if result.weights.std() > 0 else None
+                        subset = Subset(train_set, result.positions, weights=weights)
+                        selection_ran = True
+                        proxy_flops = result.proxy_flops
+                        pairwise = result.pairwise_bytes
+
+                    next_sel = epoch + 1
+                    if (
+                        stale
+                        and next_sel < self.recipe.epochs
+                        and next_sel % self.config.select_every == 0
+                    ):
+                        round_.launch(
+                            train_set, fraction, self.feedback.selection_model, next_sel
+                        )
+
+                    loader = self._make_loader(subset, epoch)
+                    mean_loss, per_sample, ids = self._train_one_epoch(loader)
+
+                    # The join point: the worker reads the feedback
+                    # replica and proxy cache, so it must land before the
+                    # sync below mutates them.  Whatever the training
+                    # epoch failed to hide shows up as selection time.
+                    selection_s += round_.join()
+
+                    self.selector.record_epoch_losses(ids, per_sample)
+                    with obs.span("feedback_quantize", epoch=epoch) as fb:
+                        feedback_bytes = self.feedback.sync(self.model)
+                        fb.set(link_bytes=int(feedback_bytes), bits=self.feedback.bits)
+                    fraction = self.schedule.update(mean_loss)
+
+                    acc = evaluate_accuracy(self.model, test_set)
+                    ep.set(train_loss=mean_loss, test_accuracy=acc,
+                           subset_size=len(subset),
+                           subset_fraction=len(subset) / len(train_set),
+                           dropped_samples=dropped)
+                history.append(
+                    EpochRecord(
+                        epoch=epoch,
+                        train_loss=mean_loss,
+                        test_accuracy=acc,
+                        subset_size=len(subset),
+                        subset_fraction=len(subset) / len(train_set),
+                        samples_trained=len(subset),
+                        selection_ran=selection_ran,
+                        selection_proxy_flops=proxy_flops,
+                        selection_pairwise_bytes=pairwise,
+                        feedback_bytes=feedback_bytes,
+                        dropped_samples=dropped,
+                        lr=self.scheduler.current_lr,
+                        wall_time_s=time.perf_counter() - epoch_t0,
+                        selection_time_s=selection_s,
+                    )
+                )
         return history

@@ -69,13 +69,21 @@ class DataLoader:
             return n // self.batch_size
         return (n + self.batch_size - 1) // self.batch_size
 
+    def _epoch_order(self, epoch: int) -> np.ndarray:
+        """Sample visitation order for ``epoch``.
+
+        This is the single source of truth for batch composition — the
+        prefetching loader calls it too, which is what makes its batch
+        stream bit-identical to the serial one at any queue depth.
+        """
+        n = len(self.dataset)
+        if self.shuffle:
+            return np.random.default_rng(self.seed + epoch).permutation(n)
+        return np.arange(n)
+
     def __iter__(self) -> Iterator[Batch]:
         n = len(self.dataset)
-        order = np.arange(n)
-        if self.shuffle:
-            rng = np.random.default_rng(self.seed + self._epoch)
-            order = rng.permutation(n)
-        self._epoch += 1
+        order = self._epoch_order(self._epoch)
 
         weights = getattr(self.dataset, "weights", None)
         for start in range(0, n, self.batch_size):
@@ -92,8 +100,12 @@ class DataLoader:
                 self.dataset.ids[pos],
                 w,
             )
+        # An abandoned/partial iterator unwinds via GeneratorExit and never
+        # reaches this line: only a fully consumed epoch advances the
+        # shuffle seed, so peeking at a loader cannot perturb later epochs.
+        self._epoch += 1
 
     @property
     def epochs_served(self) -> int:
-        """How many times iteration has started (drives the shuffle seed)."""
+        """How many epochs have been fully consumed (drives the shuffle seed)."""
         return self._epoch

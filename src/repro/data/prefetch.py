@@ -1,0 +1,211 @@
+"""Double-buffered batch prefetching off the training thread.
+
+``PrefetchingDataLoader`` moves the per-batch gather + augmentation work
+of :class:`repro.data.loader.DataLoader` onto a single background worker
+thread, which fills a bounded queue of up to ``depth`` ready batches
+while the trainer consumes the current one — the NeSSA host-side analog
+of hiding storage latency behind compute.
+
+Determinism contract
+--------------------
+The worker precomputes the epoch's index order with the *same*
+``_epoch_order`` (``seed + epoch`` RNG) the serial loader uses, gathers
+batches in that order, and applies the transform in batch order on the
+one worker thread.  Stateful transforms (``Compose`` reseeds itself per
+call) therefore see exactly the serial call sequence, so the emitted
+batch stream is bit-identical to the serial loader for any ``depth``
+(``tests/data/test_prefetch.py`` asserts this for depths 1/2/8).
+
+Buffer discipline
+-----------------
+``x``/``y`` are gathered into :class:`repro.nn.scratch.BufferPool`
+leases, so steady-state epochs perform no per-batch batch-buffer
+allocations.  A yielded batch's buffers stay valid until the consumer
+asks for the *next* batch — exactly the lifetime the training loop
+needs, and why ``ids`` (which the trainer retains across batches) are
+always freshly allocated.  Leases travel with their batch through the
+queue and are recycled by the consumer, released by the worker when a
+hand-off fails, and drained in the iterator's ``finally`` — a leaked
+lease is lint-visible (NES007).
+"""
+
+from __future__ import annotations
+
+import queue
+import threading
+import time
+from typing import Iterator
+
+import numpy as np
+
+from repro.data.loader import Batch, DataLoader
+from repro.nn.scratch import BufferPool
+from repro.obs import metrics
+
+__all__ = ["PrefetchingDataLoader"]
+
+_SENTINEL = object()
+
+
+class _WorkerError:
+    """Exception captured on the worker thread, re-raised by the consumer."""
+
+    __slots__ = ("exc",)
+
+    def __init__(self, exc: BaseException):
+        self.exc = exc
+
+
+class PrefetchingDataLoader(DataLoader):
+    """Drop-in ``DataLoader`` that prepares batches ahead of the consumer.
+
+    Parameters
+    ----------
+    depth : bound on ready-but-unconsumed batches (>= 1).  ``depth=1`` is
+        classic double buffering: one batch in flight while one trains.
+    pool : buffer pool for the gathered ``x``/``y`` pair; defaults to a
+        private pool sized so steady state never drops a free buffer.
+    """
+
+    def __init__(
+        self,
+        dataset,
+        batch_size: int = 128,
+        shuffle: bool = True,
+        drop_last: bool = False,
+        seed: int = 0,
+        transform=None,
+        depth: int = 2,
+        pool: BufferPool | None = None,
+    ):
+        super().__init__(dataset, batch_size, shuffle, drop_last, seed, transform)
+        if depth < 1:
+            raise ValueError("depth must be >= 1")
+        self.depth = depth
+        # depth queued + 1 being consumed + 1 being filled
+        self.pool = pool if pool is not None else BufferPool(max_free_per_key=depth + 2)
+        self.last_epoch_stats: dict = {}
+
+    def __iter__(self) -> Iterator[Batch]:
+        epoch = self._epoch
+        order = self._epoch_order(epoch)
+        out: queue.Queue = queue.Queue(maxsize=self.depth)
+        stop = threading.Event()
+        stats = {"batches": 0, "queue_wait_s": 0.0, "producer_wait_s": 0.0}
+
+        worker = threading.Thread(
+            target=self._produce,
+            args=(order, out, stop, stats),
+            name="prefetch-worker",
+            daemon=True,
+        )
+        worker.start()
+        held = None  # leases backing the batch the consumer currently holds
+        completed = False
+        try:
+            while True:
+                t0 = time.perf_counter()
+                item = out.get()
+                stats["queue_wait_s"] += time.perf_counter() - t0
+                if held is not None:
+                    # The consumer came back for the next batch, so the
+                    # previous one's buffers are dead by contract: recycle.
+                    for lease in held:
+                        lease.release()
+                    held = None
+                if item is _SENTINEL:
+                    break
+                if isinstance(item, _WorkerError):
+                    raise item.exc
+                batch, held = item
+                stats["batches"] += 1
+                yield batch
+            completed = True
+        finally:
+            stop.set()
+            while worker.is_alive():
+                self._drain(out)
+                worker.join(timeout=0.01)
+            self._drain(out)
+            if held is not None:
+                for lease in held:
+                    lease.release()
+            self.last_epoch_stats = dict(stats, epoch=epoch, pool=self.pool.stats)
+            reg = metrics()
+            reg.counter("prefetch.batches").inc(stats["batches"])
+            reg.timer("prefetch.queue_wait").observe(max(0.0, stats["queue_wait_s"]))
+            if completed:
+                self._epoch += 1
+
+    # -- worker side ---------------------------------------------------------
+
+    def _produce(self, order, out, stop, stats) -> None:
+        try:
+            n = len(order)
+            weights = getattr(self.dataset, "weights", None)
+            for start in range(0, n, self.batch_size):
+                if stop.is_set():
+                    return
+                pos = order[start : start + self.batch_size]
+                if self.drop_last and len(pos) < self.batch_size:
+                    break
+                item = self._gather(pos, weights)
+                if not self._put(out, stop, item, stats):
+                    for lease in item[1]:
+                        lease.release()
+                    return
+            self._put(out, stop, _SENTINEL, stats)
+        except BaseException as exc:  # lint: allow-broad-except(worker thread cannot raise to the consumer; the exception is queued and re-raised on the training thread)
+            self._put(out, stop, _WorkerError(exc), stats)
+
+    def _gather(self, pos: np.ndarray, weights):
+        """Assemble one batch into pooled buffers (worker thread)."""
+        x_src = self.dataset.x
+        x_lease = self.pool.lease((len(pos),) + x_src.shape[1:], x_src.dtype)
+        y_lease = self.pool.lease((len(pos),), self.dataset.y.dtype)
+        handed_off = False
+        try:
+            np.take(x_src, pos, axis=0, out=x_lease.array)
+            np.take(self.dataset.y, pos, axis=0, out=y_lease.array)
+            x = x_lease.array
+            if self.transform is not None:
+                t = self.transform(x)
+                if t is not x:
+                    if t.shape == x.shape and t.dtype == x.dtype:
+                        np.copyto(x, t)
+                    else:
+                        # transform changed layout; serve it unpooled
+                        x = t
+            w = weights[pos] if weights is not None else None
+            # ids are retained by the trainer across batches -> fresh array
+            batch = Batch(x, y_lease.array, self.dataset.ids[pos], w)
+            handed_off = True
+            return batch, (x_lease, y_lease)
+        finally:
+            if not handed_off:
+                x_lease.release()
+                y_lease.release()
+
+    @staticmethod
+    def _put(out, stop, item, stats) -> bool:
+        """Blocking put that aborts when the consumer signalled stop."""
+        t0 = time.perf_counter()
+        while not stop.is_set():
+            try:
+                out.put(item, timeout=0.05)
+            except queue.Full:
+                continue
+            stats["producer_wait_s"] += time.perf_counter() - t0
+            return True
+        return False
+
+    @staticmethod
+    def _drain(out) -> None:
+        while True:
+            try:
+                item = out.get_nowait()
+            except queue.Empty:
+                return
+            if isinstance(item, tuple):
+                for lease in item[1]:
+                    lease.release()

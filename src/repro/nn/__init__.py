@@ -35,6 +35,7 @@ from repro.nn.modules import (
     Sequential,
 )
 from repro.nn.optim import SGD, ConstantLR, MultiStepLR
+from repro.nn.scratch import BufferLease, BufferPool, scratch_pool, set_scratch_pool
 from repro.nn.quantize import QuantizedModel, dequantize_tensor, quantize_tensor
 from repro.nn.resnet import BasicBlock, Bottleneck, ResNet, resnet18, resnet20, resnet50
 from repro.nn.serialize import load_history, load_model, save_history, save_model
@@ -79,4 +80,8 @@ __all__ = [
     "load_model",
     "save_history",
     "load_history",
+    "BufferLease",
+    "BufferPool",
+    "scratch_pool",
+    "set_scratch_pool",
 ]

@@ -112,7 +112,8 @@ def col2im(
 
 
 def im2col_blocked(
-    x: np.ndarray, kernel: int, stride: int = 1, pad: int = 0
+    x: np.ndarray, kernel: int, stride: int = 1, pad: int = 0,
+    out: np.ndarray | None = None,
 ) -> tuple[np.ndarray, tuple[int, int]]:
     """Unfold into the blocked ``(N, C*K*K, OH*OW)`` layout.
 
@@ -120,11 +121,19 @@ def im2col_blocked(
     transpose-gather — and GEMMs directly against a ``(C_out, C*K*K)``
     filter bank, producing output already in channel-major order.
     Returns ``(cols, (oh, ow))``.
+
+    ``out``, when given, receives the column copy instead of a fresh
+    allocation — a C-contiguous ``(N, C*K*K, OH*OW)`` buffer of ``x``'s
+    dtype (the :mod:`repro.nn.scratch` pool leases these); the copy is
+    bit-identical either way.
     """
     n, c, h, w = x.shape
     oh = _out_size(h, kernel, stride, pad)
     ow = _out_size(w, kernel, stride, pad)
     view = _window_view(_pad2d(x, pad), kernel, stride)
+    if out is not None:
+        np.copyto(out.reshape(n, c, kernel, kernel, oh, ow), view)
+        return out, (oh, ow)
     cols = np.ascontiguousarray(view).reshape(n, c * kernel * kernel, oh * ow)
     return cols, (oh, ow)
 
@@ -218,6 +227,7 @@ def conv2d(
     bias: np.ndarray | None = None,
     stride: int = 1,
     pad: int = 0,
+    cols_out: np.ndarray | None = None,
 ) -> tuple[np.ndarray, np.ndarray]:
     """2-D convolution. ``weight`` is ``(C_out, C_in, K, K)``.
 
@@ -225,11 +235,12 @@ def conv2d(
     ``(N, C*K*K, OH*OW)`` column buffer (:func:`im2col_blocked`) that the
     backward pass reuses — the forward builds it once per batch and
     :class:`repro.nn.modules.Conv2d` threads it through, so backward
-    never re-derives columns.
+    never re-derives columns.  ``cols_out`` lets the caller supply that
+    buffer (a pooled scratch lease) instead of allocating it per batch.
     """
     n = x.shape[0]
     c_out, _, k, _ = weight.shape
-    cols, (oh, ow) = im2col_blocked(x, k, stride, pad)
+    cols, (oh, ow) = im2col_blocked(x, k, stride, pad, out=cols_out)
     out = np.matmul(weight.reshape(c_out, -1), cols)  # (n, c_out, oh*ow)
     if bias is not None:
         out += bias[:, None]

@@ -48,6 +48,7 @@ from repro.obs.tracer import (
     get_tracer,
     set_tracer,
     span,
+    suppress,
 )
 
 __all__ = [
@@ -73,4 +74,5 @@ __all__ = [
     "get_tracer",
     "set_tracer",
     "span",
+    "suppress",
 ]

@@ -28,6 +28,7 @@ already-completed records via :meth:`Tracer.add_completed`.
 
 from __future__ import annotations
 
+import threading
 import time
 from dataclasses import dataclass, field
 
@@ -40,6 +41,7 @@ __all__ = [
     "enabled",
     "get_tracer",
     "set_tracer",
+    "suppress",
 ]
 
 
@@ -239,10 +241,47 @@ def _render_key(key) -> str:
 
 _ACTIVE: Tracer | None = None
 
+# The tracer's span stack is owned by the thread that installed it; other
+# threads (the async-selection worker, the prefetch worker) must not push
+# onto it.  They run under ``suppress()`` and their work is represented by
+# a single completed span the owning thread forwards at the join point —
+# the same convention as cross-process unit spans.
+_TLS = threading.local()
+
+
+class _Suppress:
+    """Reentrant thread-local tracing mute; ``with obs.suppress(): ...``."""
+
+    __slots__ = ()
+
+    def __enter__(self) -> "_Suppress":
+        _TLS.mute = getattr(_TLS, "mute", 0) + 1
+        return self
+
+    def __exit__(self, *exc) -> bool:
+        _TLS.mute -= 1
+        return False
+
+
+_SUPPRESS = _Suppress()
+
+
+def suppress() -> _Suppress:
+    """Mute span emission on the *current thread* while the block runs.
+
+    Worker threads wrap their body in this so the shared (thread-unsafe)
+    span stack is only ever touched by the tracer's owning thread.
+    """
+    return _SUPPRESS
+
+
+def _muted() -> bool:
+    return getattr(_TLS, "mute", 0) > 0
+
 
 def enabled() -> bool:
-    """Is a tracer installed? (One global read — safe on hot paths.)"""
-    return _ACTIVE is not None
+    """Is a tracer installed (and not muted on this thread)?"""
+    return _ACTIVE is not None and not _muted()
 
 
 def get_tracer() -> Tracer | None:
@@ -264,12 +303,12 @@ def span(name: str, key=None, **attrs):
     why this factory is exempt from NES006's call-site check only via
     the return position below.
     """
-    if _ACTIVE is None:
+    if _ACTIVE is None or _muted():
         return NOOP_SPAN
     return _ACTIVE.span(name, key=key, **attrs)
 
 
 def add_completed(name: str, key=None, **kwargs) -> None:
     """Forward a completed span to the active tracer (no-op when disabled)."""
-    if _ACTIVE is not None:
+    if _ACTIVE is not None and not _muted():
         _ACTIVE.add_completed(name, key=key, **kwargs)

@@ -19,6 +19,7 @@ from repro.pipeline.experiment import (
     scaled_recipe,
 )
 from repro.pipeline.multidevice import MultiDeviceSystem, ScalingPoint
+from repro.pipeline.overlap import AsyncSelectionRound
 from repro.pipeline.system import (
     EpochTiming,
     SystemModel,
@@ -37,6 +38,7 @@ __all__ = [
     "scaled_recipe",
     "MultiDeviceSystem",
     "ScalingPoint",
+    "AsyncSelectionRound",
     "cosimulate",
     "CosimResult",
 ]

@@ -86,3 +86,80 @@ class TestRoundTrip:
         baseline.write_text(json.dumps({"version": 99, "findings": []}))
         with pytest.raises(ValueError, match="baseline version"):
             load_baseline(str(baseline))
+
+
+class TestJustificationGate:
+    """`lint --check-baseline` refuses unjustified grandfathered findings."""
+
+    def _write(self, tmp_path):
+        (tmp_path / "bad.py").write_text(BAD_EXCEPT)
+        baseline = tmp_path / "baseline.json"
+        write_baseline(str(baseline), _lint(tmp_path))
+        return baseline
+
+    def test_fresh_baseline_is_entirely_unjustified(self, tmp_path):
+        from repro.analysis import unjustified_entries
+
+        baseline = self._write(tmp_path)
+        entries = unjustified_entries(str(baseline))
+        assert len(entries) == 1
+        assert entries[0]["rule"] == "NES003"
+
+    def test_real_justification_passes(self, tmp_path):
+        from repro.analysis import unjustified_entries
+
+        baseline = self._write(tmp_path)
+        doc = json.loads(baseline.read_text())
+        doc["findings"][0]["justification"] = (
+            "legacy handler; re-raise would break the retry loop (see #42)"
+        )
+        baseline.write_text(json.dumps(doc))
+        assert unjustified_entries(str(baseline)) == []
+
+    @pytest.mark.parametrize(
+        "text", ["", "   ", "TODO: look into this", "todo", "UNJUSTIFIED: why"]
+    )
+    def test_placeholder_variants_all_fail(self, tmp_path, text):
+        from repro.analysis import unjustified_entries
+
+        baseline = self._write(tmp_path)
+        doc = json.loads(baseline.read_text())
+        doc["findings"][0]["justification"] = text
+        baseline.write_text(json.dumps(doc))
+        assert len(unjustified_entries(str(baseline))) == 1
+
+    def test_missing_justification_key_fails(self, tmp_path):
+        from repro.analysis import unjustified_entries
+
+        baseline = self._write(tmp_path)
+        doc = json.loads(baseline.read_text())
+        del doc["findings"][0]["justification"]
+        baseline.write_text(json.dumps(doc))
+        assert len(unjustified_entries(str(baseline))) == 1
+
+    def test_version_mismatch_rejected(self, tmp_path):
+        from repro.analysis import unjustified_entries
+
+        baseline = tmp_path / "baseline.json"
+        baseline.write_text(json.dumps({"version": 99, "findings": []}))
+        with pytest.raises(ValueError, match="baseline version"):
+            unjustified_entries(str(baseline))
+
+    def test_cli_check_baseline_gates(self, tmp_path, capsys):
+        from repro.cli import main
+
+        baseline = self._write(tmp_path)
+        assert main(["lint", "--check-baseline", "--baseline", str(baseline)]) == 1
+        out = capsys.readouterr().out
+        assert "unjustified" in out.lower()
+
+        doc = json.loads(baseline.read_text())
+        doc["findings"][0]["justification"] = "argued for in review: retry loop"
+        baseline.write_text(json.dumps(doc))
+        assert main(["lint", "--check-baseline", "--baseline", str(baseline)]) == 0
+
+    def test_cli_check_baseline_absent_file_is_clean(self, tmp_path):
+        from repro.cli import main
+
+        missing = tmp_path / "nowhere.json"
+        assert main(["lint", "--check-baseline", "--baseline", str(missing)]) == 0

@@ -40,14 +40,16 @@ class TestDataLoader:
         assert np.array_equal(first.ids, [0, 1, 2, 3])
 
     def test_shuffle_differs_across_epochs_but_reproducible(self):
+        # Epochs must be *fully consumed* to advance the shuffle seed —
+        # a peeked-and-abandoned iterator replays the same epoch.
         ds = make_dataset(30)
         loader = DataLoader(ds, batch_size=30, shuffle=True, seed=5)
-        epoch1 = next(iter(loader)).ids.copy()
-        epoch2 = next(iter(loader)).ids.copy()
+        epoch1 = [b.ids.copy() for b in loader][0]
+        epoch2 = [b.ids.copy() for b in loader][0]
         assert not np.array_equal(epoch1, epoch2)
 
         loader_b = DataLoader(ds, batch_size=30, shuffle=True, seed=5)
-        assert np.array_equal(next(iter(loader_b)).ids, epoch1)
+        assert np.array_equal([b.ids for b in loader_b][0], epoch1)
 
     def test_weights_follow_samples(self):
         ds = make_dataset(8)

@@ -148,10 +148,44 @@ class TestCliBench:
                    "--no-seed", "--check", "--baseline-dir", str(tmp_path)])
         assert rc == 0
 
-    def test_check_without_baseline_skips(self, tmp_path, capsys):
+    def test_check_without_baseline_fails(self, tmp_path, capsys):
+        # Used to skip silently; now a missing committed baseline is a
+        # CI failure (an uncovered group would otherwise rot unnoticed).
         from repro.cli import main
 
         rc = main(["bench", "--group", "nn", "--size", "tiny", "--repeats", "1",
                    "--no-seed", "--check", "--baseline-dir", str(tmp_path)])
+        assert rc == 1
+        assert "MISSING BASELINE" in capsys.readouterr().out
+
+
+class TestPipelineGroup:
+    def test_pipeline_benches_registered(self):
+        names = bench.registered_benches("pipeline")
+        assert "pipeline.loader_prefetch" in names
+        assert "pipeline.serial_vs_overlap" in names
+        assert "pipeline" in bench.GROUPS
+
+    def test_loader_prefetch_tiny_runs_with_seed_side(self):
+        r = bench.run_bench("pipeline.loader_prefetch", size="tiny", repeats=1)
+        assert r.group == "pipeline"
+        assert r.median_s > 0
+        assert r.seed_median_s is not None  # serial reference executed
+
+
+class TestCheckRequiresCommittedBaseline:
+    def test_present_baseline_within_tolerance_passes(self, tmp_path, capsys):
+        from repro.cli import main
+
+        rc = main([
+            "bench", "--group", "pipeline", "--size", "tiny", "--repeats", "1",
+            "--no-seed", "--out-dir", str(tmp_path),
+        ])
         assert rc == 0
-        assert "no baseline" in capsys.readouterr().out
+        rc = main([
+            "bench", "--group", "pipeline", "--size", "tiny", "--repeats", "1",
+            "--no-seed", "--check", "--tolerance", "1000", "--baseline-dir",
+            str(tmp_path),
+        ])
+        capsys.readouterr()
+        assert rc == 0

@@ -1,0 +1,257 @@
+"""Overlapped selection: round mechanics + serial-equivalence guarantees.
+
+Two layers of coverage:
+
+- :class:`AsyncSelectionRound` unit tests against a scripted selector
+  (launch/join/consume lifecycle, error forwarding, strict mode);
+- end-to-end equivalence: the overlapped ``NeSSATrainer`` with
+  ``stale_feedback="off"`` must reproduce the serial trainer's
+  ``TrainingHistory`` exactly, for any prefetch depth, and its trace
+  must diff clean against serial modulo the overlap-only span names
+  (the same carve-out convention the parallel engine established for
+  ``shm_publish``).
+"""
+
+import time
+
+import numpy as np
+import pytest
+
+from repro import obs
+from repro.core.config import NeSSAConfig, TrainRecipe
+from repro.core.trainer import NeSSATrainer
+from repro.data.synthetic import SyntheticConfig, make_train_test
+from repro.nn.resnet import resnet20
+from repro.pipeline.overlap import AsyncSelectionRound
+from repro.selection.craig import SelectionResult
+
+# Spans that only one of the two schedules emits: the serial loop runs
+# selection inline (selection_round + its children), the stale overlap
+# loop mutes those on the worker and forwards one async_selection span.
+OVERLAP_ONLY_SPANS = {
+    "selection_round",
+    "proxy_compute",
+    "chunk_select",
+    "unit",
+    "async_selection",
+}
+
+
+class ScriptedSelector:
+    """Stands in for NeSSASelector: records calls, optionally slow/failing."""
+
+    def __init__(self, delay=0.0, error=None):
+        self.delay = delay
+        self.error = error
+        self.select_calls = []
+        self.snapshots = 0
+
+    def snapshot_candidates(self, dataset):
+        self.snapshots += 1
+        return ("snapshot", self.snapshots)
+
+    def select(self, dataset, fraction, model, candidates=None):
+        self.select_calls.append((float(fraction), candidates))
+        if self.delay:
+            time.sleep(self.delay)
+        if self.error is not None:
+            error, self.error = self.error, None  # fail once, then recover
+            raise error
+        return SelectionResult(
+            np.arange(4), np.ones(4), pairwise_bytes=16, proxy_flops=2.0
+        )
+
+
+class TestAsyncSelectionRound:
+    def test_launch_then_consume_returns_worker_result(self):
+        sel = ScriptedSelector()
+        with AsyncSelectionRound(sel) as round_:
+            assert round_.launch("ds", 0.3, "model", for_epoch=1)
+            assert sel.snapshots == 1
+            result = round_.consume("ds", 0.3, "model", epoch=1)
+        assert len(result.positions) == 4
+        # the worker scored the snapshot taken at launch time
+        assert sel.select_calls == [(0.3, ("snapshot", 1))]
+
+    def test_only_one_round_in_flight(self):
+        sel = ScriptedSelector(delay=0.05)
+        with AsyncSelectionRound(sel) as round_:
+            assert round_.launch("ds", 0.3, "model", for_epoch=1)
+            assert round_.in_flight
+            assert not round_.launch("ds", 0.3, "model", for_epoch=2)
+            round_.join()
+            assert not round_.in_flight
+
+    def test_join_without_launch_is_noop(self):
+        round_ = AsyncSelectionRound(ScriptedSelector())
+        assert round_.join() == 0.0
+
+    def test_worker_error_reraised_at_join(self):
+        sel = ScriptedSelector(error=RuntimeError("scoring failed"))
+        with AsyncSelectionRound(sel) as round_:
+            round_.launch("ds", 0.3, "model", for_epoch=1)
+            with pytest.raises(RuntimeError, match="scoring failed"):
+                round_.join()
+            # the round is reusable after the failure surfaced
+            assert not round_.in_flight
+            result = round_.consume("ds", 0.5, "model", epoch=1)
+        assert len(result.positions) == 4
+
+    def test_consume_joins_inflight_round_itself(self):
+        sel = ScriptedSelector(delay=0.02)
+        with AsyncSelectionRound(sel) as round_:
+            round_.launch("ds", 0.3, "model", for_epoch=1)
+            result = round_.consume("ds", 0.3, "model", epoch=1)
+        assert result is not None
+        assert len(sel.select_calls) == 1
+
+    def test_strict_mode_never_defers(self):
+        sel = ScriptedSelector()
+        with AsyncSelectionRound(sel, strict=True) as round_:
+            assert not round_.launch("ds", 0.3, "model", for_epoch=1)
+            assert sel.snapshots == 0  # no speculative snapshot either
+            round_.consume("ds", 0.3, "model", epoch=1)
+        # synchronous path: select saw no pre-taken snapshot
+        assert sel.select_calls == [(0.3, None)]
+
+    def test_close_drops_pending_result(self):
+        sel = ScriptedSelector()
+        round_ = AsyncSelectionRound(sel)
+        round_.launch("ds", 0.3, "model", for_epoch=1)
+        round_.close()
+        assert not round_.in_flight
+        round_.consume("ds", 0.3, "model", epoch=1)
+        assert len(sel.select_calls) == 2  # dropped result forced a re-select
+
+    def test_join_forwards_async_selection_span(self):
+        tracer = obs.Tracer(run="overlap-test")
+        obs.set_tracer(tracer)
+        try:
+            sel = ScriptedSelector(delay=0.01)
+            with AsyncSelectionRound(sel) as round_:
+                round_.launch("ds", 0.3, "model", for_epoch=2)
+                round_.join()
+        finally:
+            obs.set_tracer(None)
+        spans = [r for r in tracer.records if r.name == "async_selection"]
+        assert len(spans) == 1
+        attrs = spans[0].attrs
+        assert attrs["for_epoch"] == 2
+        assert attrs["selected"] == 4
+        assert attrs["pairwise_bytes"] == 16
+        assert attrs["hidden_s"] >= 0.0
+
+
+# -- end-to-end equivalence ---------------------------------------------------
+
+
+@pytest.fixture(scope="module")
+def data():
+    cfg = SyntheticConfig(
+        num_classes=4, num_samples=240, image_shape=(3, 8, 8), seed=21
+    )
+    return make_train_test(cfg)
+
+
+def recipe():
+    return TrainRecipe(epochs=4, batch_size=32, lr=0.05, lr_milestones=())
+
+
+def config(**overrides):
+    defaults = dict(subset_fraction=0.4, select_every=2, seed=0)
+    defaults.update(overrides)
+    return NeSSAConfig(**defaults)
+
+
+def train_history(cfg, data, trace_to=None):
+    train_set, test_set = data
+    model = resnet20(num_classes=4, width=4, seed=13)
+    trainer = NeSSATrainer(
+        model, recipe(), cfg, lambda: resnet20(num_classes=4, width=4, seed=13)
+    )
+    tracer = obs.Tracer(run="equiv") if trace_to is not None else None
+    if tracer is not None:
+        obs.set_tracer(tracer)
+    try:
+        history = trainer.train(train_set, test_set)
+    finally:
+        if tracer is not None:
+            obs.set_tracer(None)
+            trace_to.extend(tracer.records)
+        trainer.selector.close()
+    return history
+
+DETERMINISTIC_FIELDS = (
+    "epoch", "train_loss", "test_accuracy", "subset_size", "subset_fraction",
+    "samples_trained", "selection_ran", "selection_proxy_flops",
+    "selection_pairwise_bytes", "feedback_bytes", "dropped_samples", "lr",
+)
+
+
+def deterministic_view(history):
+    return [
+        tuple(getattr(r, f) for f in DETERMINISTIC_FIELDS) for r in history.records
+    ]
+
+
+@pytest.fixture(scope="module")
+def serial_history(data):
+    return train_history(config(), data)
+
+
+class TestOverlappedTrainerEquivalence:
+    @pytest.mark.parametrize(
+        "depth,workers", [(0, 1), (3, 1), (2, 2)]
+    )
+    def test_strict_mode_reproduces_serial_history(
+        self, data, serial_history, depth, workers
+    ):
+        overlapped = train_history(
+            config(
+                overlap=True, stale_feedback="off", prefetch_depth=depth,
+                workers=workers,
+            ),
+            data,
+        )
+        assert deterministic_view(overlapped) == deterministic_view(serial_history)
+
+    def test_strict_mode_trace_is_bit_identical_to_serial(self, data):
+        serial_spans, strict_spans = [], []
+        train_history(config(), data, trace_to=serial_spans)
+        train_history(
+            config(overlap=True, stale_feedback="off"), data, trace_to=strict_spans
+        )
+        assert [(r.id, r.name) for r in serial_spans] == [
+            (r.id, r.name) for r in strict_spans
+        ]
+
+    def test_stale_mode_trace_matches_serial_modulo_overlap_spans(self, data):
+        serial_spans, stale_spans = [], []
+        train_history(config(), data, trace_to=serial_spans)
+        train_history(
+            config(overlap=True, stale_feedback="stale", prefetch_depth=2),
+            data,
+            trace_to=stale_spans,
+        )
+        stale_names = {r.name for r in stale_spans}
+        assert "async_selection" in stale_names
+
+        def skeleton(records):
+            return [r.name for r in records if r.name not in OVERLAP_ONLY_SPANS]
+
+        assert skeleton(serial_spans) == skeleton(stale_spans)
+
+    def test_stale_mode_trains_and_selects_on_schedule(self, data):
+        history = train_history(
+            config(overlap=True, stale_feedback="stale", prefetch_depth=2), data
+        )
+        assert history.method == "nessa"
+        assert [r.selection_ran for r in history.records] == [
+            True, False, True, False,
+        ]
+        assert all(r.subset_size > 0 for r in history.records)
+
+    def test_prefetch_depth_alone_reproduces_serial_history(self, data, serial_history):
+        # prefetching without overlap: same serial schedule, pooled loader
+        prefetched = train_history(config(prefetch_depth=4), data)
+        assert deterministic_view(prefetched) == deterministic_view(serial_history)

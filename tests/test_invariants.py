@@ -145,9 +145,12 @@ class TestQuantizationInvariants:
         q, s = quantize_tensor(x, bits=bits)
         restored = dequantize_tensor(q, s)
         # Per-channel or per-tensor: error bounded by half a step of the
-        # largest channel scale.
+        # largest channel scale, plus one float32 ulp at the tensor's
+        # magnitude (bits=16 steps are fine enough that fp32 rounding of
+        # restored values is visible at scales in the hundreds).
         max_scale = float(np.max(s)) if np.ndim(s) else float(s)
-        assert np.abs(restored - x).max() <= max_scale / 2 + 1e-6
+        ulp = float(np.spacing(np.float32(np.abs(x).max())))
+        assert np.abs(restored - x).max() <= max_scale / 2 + ulp + 1e-6
 
     @given(bits=st.sampled_from([4, 8, 16]), seed=st.integers(0, 50))
     @settings(**SETTINGS)
