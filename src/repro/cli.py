@@ -91,6 +91,7 @@ def _cmd_train(args) -> int:
             overlap=args.overlap,
             stale_feedback=args.stale_feedback,
             prefetch_depth=args.prefetch_depth,
+            quantized_scoring=args.quantized_scoring,
         )
     with _traced(args.trace, run=f"train-{args.method}-{args.dataset}"):
         result = run_method(
@@ -123,7 +124,10 @@ def _cmd_system(args) -> int:
     from repro.pipeline.system import SystemModel, average_speedups, data_movement_summary
 
     model = SystemModel(
-        args.dataset, selection_workers=args.workers, host_overlap=args.overlap
+        args.dataset,
+        selection_workers=args.workers,
+        host_overlap=args.overlap,
+        quantized_scoring=args.quantized_scoring,
     )
     with _traced(args.trace, run=f"system-{args.dataset}"):
         pricers = {
@@ -389,6 +393,12 @@ def build_parser() -> argparse.ArgumentParser:
                        help="ready-batch queue depth of the prefetching "
                             "loader (0 = serial in-thread loader; batch "
                             "streams are identical for any depth)")
+    train.add_argument("--quantized-scoring", choices=["off", "int8"],
+                       default="off",
+                       help="run selection similarities through the int8 "
+                            "quantized scoring engine (repro.selection.qscore) "
+                            "with the cross-round block cache; 'off' keeps "
+                            "the fp32 host path")
     train.add_argument("--trace", default=None, metavar="PATH",
                        help="record a repro.obs run-trace (JSONL) to PATH")
 
@@ -400,6 +410,11 @@ def build_parser() -> argparse.ArgumentParser:
                         help="model host-side selection/training overlap for "
                              "the CPU baselines (NeSSA always overlaps "
                              "on-device)")
+    system.add_argument("--quantized-scoring", choices=["off", "int8"],
+                        default="off",
+                        help="price the NeSSA kernel's int8 similarity-lane "
+                             "arm (packed MACs on double-pumped DSPs) instead "
+                             "of the fp32 lanes")
     system.add_argument("--trace", default=None, metavar="PATH",
                         help="record a repro.obs run-trace (JSONL) to PATH")
 
@@ -412,7 +427,7 @@ def build_parser() -> argparse.ArgumentParser:
     bench = sub.add_parser("bench", help="run hot-path microbenchmarks")
     bench.add_argument("--group",
                        choices=["selection", "nn", "parallel", "pipeline",
-                                "all"],
+                                "qscore", "all"],
                        default="all")
     bench.add_argument("--size", choices=["tiny", "default"], default="default")
     bench.add_argument("--repeats", type=int, default=5)

@@ -38,6 +38,11 @@ def quantize_tensor(
         raise ValueError(f"unsupported bit width: {bits}")
     if bits == 32:
         return x.astype(np.float32), 1.0
+    if x.size == 0:
+        # Degenerate but legal (an empty class bucket, a zero-channel
+        # layer): nothing to scale, and ``np.abs(x).max()`` would raise.
+        # The identity scale keeps the round trip well defined.
+        return np.zeros(x.shape, dtype=np.int32), 1.0
     qmax = 2 ** (bits - 1) - 1
 
     if per_channel and x.ndim >= 2:
@@ -46,12 +51,21 @@ def quantize_tensor(
         scale = np.where(max_abs > 0, max_abs / qmax, 1.0)
         shaped = scale.reshape((-1,) + (1,) * (x.ndim - 1))
         q = np.clip(np.round(x / shaped), -qmax, qmax).astype(np.int32)
-        return q, scale.astype(np.float32)
+        # float32 is the wire format for scales.  A subnormal max_abs can
+        # flush the cast to 0.0, leaving a zero point that dequantizes
+        # everything to 0 and divides-by-zero downstream — clamp to the
+        # smallest normal float32 instead (values that small dequantize
+        # to ~1e-38 either way).
+        tiny = np.finfo(np.float32).tiny
+        scale32 = scale.astype(np.float32)
+        return q, np.where(scale32 < tiny, np.float32(tiny), scale32)
 
     max_abs = float(np.abs(x).max())
     if max_abs == 0.0:
         return np.zeros(x.shape, dtype=np.int32), 1.0
-    scale = max_abs / qmax
+    # Same degenerate-scale guard as the per-channel branch: never hand
+    # back a scale that underflows the float32 wire format to zero.
+    scale = max(max_abs / qmax, float(np.finfo(np.float32).tiny))
     q = np.clip(np.round(x / scale), -qmax, qmax).astype(np.int32)
     return q, scale
 

@@ -52,23 +52,45 @@ class SelectionSpec(dict):
         epsilon: float = 0.1,
         precision: str = "float64",
         similarity_dtype_bytes: int = 4,
+        scoring: str = "off",
+        qbits: int = 8,
+        scales: dict | None = None,
     ):
         super().__init__(
             method=method,
             epsilon=epsilon,
             precision=precision,
             similarity_dtype_bytes=similarity_dtype_bytes,
+            scoring=scoring,
+            qbits=qbits,
+            scales=scales,
         )
 
 
 def execute_unit(
     vectors: np.ndarray, unit: WorkUnit, spec: SelectionSpec
-) -> tuple[np.ndarray, np.ndarray, int]:
+) -> tuple:
     """Run one work unit on its chunk's vectors (both serial and worker path).
 
     ``vectors`` are the *chunk's* rows (already gathered).  Returns
-    ``(chunk-local indices, weights, pairwise_bytes)``.
+    ``(chunk-local indices, weights, pairwise_bytes)`` — with a fourth
+    per-unit stats dict appended on the quantized scoring path
+    (``spec["scoring"] == "int8"``, where ``vectors`` are the int8 rows
+    and ``spec["scales"]`` maps the unit's label to its dequant scale).
     """
+    if spec.get("scoring") == "int8":
+        from repro.selection.qscore import select_class_quantized
+
+        return select_class_quantized(
+            vectors,
+            spec["scales"][unit.label],
+            unit.take,
+            method=spec["method"],
+            epsilon=spec["epsilon"],
+            rng=unit_rng(unit.seed_key),
+            bits=spec["qbits"],
+            similarity_dtype_bytes=spec["similarity_dtype_bytes"],
+        )
     from repro.selection.craig import craig_select_class
 
     return craig_select_class(
@@ -143,6 +165,7 @@ class SelectionExecutor:
         self.workers = max(1, int(workers))
         self.start_method = start_method
         self.fallback_reason: str | None = None
+        self.last_qscore_stats: dict | None = None
         self._pool = None
         if self.workers > 1 and not shared_memory_available():
             self.fallback_reason = "POSIX shared memory unavailable"
@@ -178,7 +201,8 @@ class SelectionExecutor:
         """Execute every unit; results ordered by :attr:`WorkUnit.order`.
 
         Serial and parallel paths call the same :func:`execute_unit` on
-        the same float64 rows, so their outputs are bit-identical.
+        the same rows (float64 proxies, or int8 rows under quantized
+        scoring), so their outputs are bit-identical.
         """
         if not units:
             return []
@@ -205,12 +229,14 @@ class SelectionExecutor:
                                 unit, result, start=start, dur_s=dur_s, worker=pid
                             )
                         results.append(result)
-                    return results
+                    return self._note_qscore(results, spec)
                 finally:
                     store.close()
                     store.unlink()
         if not tracing:
-            return [execute_unit(vectors[u.positions], u, spec) for u in units]
+            return self._note_qscore(
+                [execute_unit(vectors[u.positions], u, spec) for u in units], spec
+            )
         results = []
         for u in units:
             start = time.perf_counter()
@@ -219,6 +245,34 @@ class SelectionExecutor:
                 u, result, start=start, dur_s=time.perf_counter() - start
             )
             results.append(result)
+        return self._note_qscore(results, spec)
+
+    def _note_qscore(self, results: list, spec: SelectionSpec) -> list:
+        """Aggregate the units' qscore stats into the parent's metrics.
+
+        Pool workers carry their own forked copies of the rescore cache
+        (and a no-op metrics registry), so each unit *returns* its
+        hit/miss/MAC accounting and the parent rolls it up here —
+        identical bookkeeping on the serial and parallel paths.
+        """
+        if spec.get("scoring") != "int8":
+            self.last_qscore_stats = None
+            return results
+        hits = sum(1 for r in results if r[3]["cache_hit"])
+        misses = len(results) - hits
+        select_hits = sum(1 for r in results if r[3].get("select_hit"))
+        macs = sum(r[3]["macs"] for r in results)
+        obs.metrics().counter("qscore.block_hits").inc(hits)
+        obs.metrics().counter("qscore.block_misses").inc(misses)
+        obs.metrics().counter("qscore.select_hits").inc(select_hits)
+        obs.metrics().counter("qscore.macs").inc(macs)
+        self.last_qscore_stats = {
+            "block_hits": hits,
+            "block_misses": misses,
+            "select_hits": select_hits,
+            "blocks": len(results),
+            "macs": macs,
+        }
         return results
 
     @staticmethod

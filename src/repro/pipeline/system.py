@@ -85,11 +85,14 @@ class SystemModel:
         batch_size: int = 128,
         selection_workers: int = 1,
         host_overlap: bool = False,
+        quantized_scoring: str = "off",
     ):
         if isinstance(dataset, str):
             dataset = DATASETS[dataset]
         if selection_workers < 1:
             raise ValueError("selection_workers must be >= 1")
+        if quantized_scoring not in ("off", "int8"):
+            raise ValueError("quantized_scoring must be 'off' or 'int8'")
         self.dataset = dataset
         self.gpu = gpu or v100()
         self.ssd = ssd or SmartSSD()
@@ -105,6 +108,10 @@ class SystemModel:
         # t's subset trains, so only the non-hidden excess is charged to the
         # critical path (stale-feedback semantics, like the device).
         self.host_overlap = host_overlap
+        # "int8": the kernel's similarity lanes run packed int8 MACs on
+        # double-pumped DSPs (the arm repro.selection.qscore executes on
+        # the host); "off": the fp32 lane of the baseline Table 4 kernel.
+        self.quantized_scoring = quantized_scoring
         self.forward_flops = MODEL_FORWARD_FLOPS[dataset.name]
         self.compute = GPUComputeModel(self.gpu)
 
@@ -257,6 +264,7 @@ class SystemModel:
             subset_size=k,
             chunk_size=min(self.ssd.kernel.max_chunk_for_onchip(), 512),
             batch_bytes=batch_bytes,
+            quantized=self.quantized_scoring == "int8",
         )
 
         # Amortized embedding refresh: thumbnail-capped quantized forward

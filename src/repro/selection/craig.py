@@ -57,6 +57,7 @@ def craig_select_class(
     block_size: int | None = None,
     memory_budget_bytes: int | None = None,
     similarity_dtype_bytes: int = 4,
+    scoring: str = "off",
 ) -> tuple[np.ndarray, np.ndarray, int]:
     """Select ``k`` medoids from one class's proxy vectors.
 
@@ -73,13 +74,36 @@ def craig_select_class(
     config-driven value for float64 / int8-quantized similarity kernels),
     i.e. what would have to fit in the FPGA's on-chip memory without
     partitioning.
+
+    ``scoring="int8"`` routes the whole similarity stage through
+    :mod:`repro.selection.qscore`: the bucket is quantized with a
+    symmetric scale and distances come from the int8 GEMM (with the
+    cross-round block cache); ``precision`` is ignored on that path.
     """
     if similarity_dtype_bytes < 1:
         raise ValueError("similarity_dtype_bytes must be >= 1")
+    if scoring not in ("off", "int8"):
+        raise ValueError(f"unknown scoring {scoring!r} (use 'off' or 'int8')")
     n = vectors.shape[0]
     if n == 0:
         return (np.zeros(0, np.int64), np.zeros(0, np.float64), 0)
     k = min(k, n)
+    if scoring == "int8":
+        from repro.selection.qscore import quantize_class_rows, select_class_quantized
+
+        q, scale, _ = quantize_class_rows(vectors)
+        sel, weights, _, _stats = select_class_quantized(
+            q,
+            scale,
+            k,
+            method=method,
+            epsilon=epsilon,
+            rng=rng,
+            block_size=block_size,
+            memory_budget_bytes=memory_budget_bytes,
+            similarity_dtype_bytes=similarity_dtype_bytes,
+        )
+        return sel, weights, n * n * similarity_dtype_bytes
     distances = pairwise_distances(
         vectors,
         precision=precision,
@@ -115,12 +139,14 @@ class CraigSelector:
         seed: int = 0,
         precision: str = "float64",
         memory_budget_bytes: int | None = None,
+        scoring: str = "off",
     ):
         self.method = method
         self.epsilon = epsilon
         self.rng = np.random.default_rng(seed)
         self.precision = precision
         self.memory_budget_bytes = memory_budget_bytes
+        self.scoring = scoring
 
     def select(
         self,
@@ -166,6 +192,7 @@ class CraigSelector:
                     rng=self.rng,
                     precision=self.precision,
                     memory_budget_bytes=self.memory_budget_bytes,
+                    scoring=self.scoring,
                 )
                 positions.append(candidates[local[sel]])
                 weights.append(w)

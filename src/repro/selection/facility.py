@@ -92,8 +92,11 @@ def lazy_greedy(
     # only ever reads columns, so one O(N^2) contiguous copy up front buys
     # cache-friendly row reads for all O(N*k) refresh work.
     sim_rows = np.ascontiguousarray(similarity.T)
-    # current_best[i] = max_{j in S} s[i, j]
-    current_best = np.zeros(n, dtype=np.float64)
+    # current_best[i] = max_{j in S} s[i, j].  Accumulate in the input's
+    # own float dtype: a float64 buffer would silently upcast every
+    # refresh pass of a float32 similarity (the int8 scoring path's
+    # output) back to double width.
+    current_best = np.zeros(n, dtype=_float_dtype(similarity))
     gains = similarity.sum(axis=0)  # gain of each singleton from F(empty)=0
     heap = [(-g, j, 0) for j, g in enumerate(gains)]  # (neg gain, idx, round evaluated)
     heapq.heapify(heap)
@@ -174,7 +177,7 @@ def stochastic_greedy(
     sample_size = max(1, min(sample_size, n))
 
     sim_rows = np.ascontiguousarray(similarity.T)
-    current_best = np.zeros(n, dtype=np.float64)
+    current_best = np.zeros(n, dtype=_float_dtype(similarity))
     unselected = np.ones(n, dtype=bool)
     selected: list[int] = []
     for _ in range(k):
@@ -204,6 +207,19 @@ def medoid_weights(similarity: np.ndarray, selected: np.ndarray) -> np.ndarray:
     assignment = np.argmax(similarity[:, selected], axis=1)
     counts = np.bincount(assignment, minlength=len(selected))
     return counts.astype(np.float64)
+
+
+def _float_dtype(similarity: np.ndarray) -> np.dtype:
+    """The accumulator dtype matching ``similarity`` (float64 for ints).
+
+    Keeps the maximizers dtype-preserving: float64 inputs behave
+    bit-identically to before, float32 inputs (the quantized scoring
+    engine) stay float32 end-to-end instead of paying a hidden upcast.
+    """
+    dtype = np.asarray(similarity).dtype
+    if np.issubdtype(dtype, np.floating):
+        return dtype
+    return np.dtype(np.float64)
 
 
 def _check(similarity: np.ndarray, k: int, validate: bool = True) -> int:

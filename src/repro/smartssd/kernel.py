@@ -127,15 +127,45 @@ class SelectionKernel:
         macs = num_samples * flops_per_sample / 2.0
         return macs / (self.macs_per_second * 0.75)
 
-    def similarity_time(self, chunk_size: int, proxy_dim: int, num_chunks: int = 1) -> float:
-        """Seconds to fill the pairwise tiles: chunk² distances, d cycles each lane."""
+    def similarity_macs(self, chunk_size: int, proxy_dim: int, num_chunks: int = 1) -> int:
+        """Multiply-accumulates the similarity lanes execute for the tiles.
+
+        ``chunk² * d`` per chunk — the pairwise Gram GEMM.  This count is
+        calibrated against the host's now-real int8 operator: for the
+        same chunk geometry,
+        :func:`repro.selection.qscore.int8_similarity` reports exactly
+        this many MACs (``tests/smartssd`` asserts the identity), so the
+        cycle model and the executed kernel agree operation-for-operation.
+        """
         if chunk_size > self.config.chunk_capacity:
             raise ValueError(
                 f"chunk {chunk_size} exceeds on-chip tile capacity "
                 f"{self.config.chunk_capacity} — partition the dataset (§3.2.3)"
             )
-        ops = float(chunk_size) ** 2 * proxy_dim * num_chunks
-        return ops / (self.config.similarity_lanes * self.fpga.clock_hz)
+        if chunk_size < 0 or proxy_dim < 0 or num_chunks < 0:
+            raise ValueError("negative work")
+        return chunk_size * chunk_size * proxy_dim * num_chunks
+
+    def similarity_time(
+        self,
+        chunk_size: int,
+        proxy_dim: int,
+        num_chunks: int = 1,
+        quantized: bool = False,
+    ) -> float:
+        """Seconds to fill the pairwise tiles: chunk² distances, d cycles each lane.
+
+        ``quantized=True`` models the int8 similarity lanes with the same
+        DSP optimizations as the MAC array (packed int8 MACs on
+        double-pumped DSP columns) — the kernel arm the host's
+        :mod:`repro.selection.qscore` engine mirrors.  The default fp32
+        lane executes one MAC per lane-cycle.
+        """
+        ops = float(self.similarity_macs(chunk_size, proxy_dim, num_chunks))
+        lane_macs_per_cycle = 1
+        if quantized:
+            lane_macs_per_cycle = self.config.int8_packing * self.config.dsp_clock_multiple
+        return ops / (self.config.similarity_lanes * lane_macs_per_cycle * self.fpga.clock_hz)
 
     def greedy_time(self, chunk_size: int, k_per_chunk: int, num_chunks: int = 1) -> float:
         """Seconds for the facility-location greedy scans."""
@@ -149,10 +179,13 @@ class SelectionKernel:
         proxy_dim: int,
         subset_size: int,
         chunk_size: int,
+        quantized: bool = False,
     ) -> float:
         """End-to-end kernel time for one selection round.
 
         The forward pass dominates; similarity/greedy run per chunk.
+        ``quantized`` selects the int8 similarity-lane arm (see
+        :meth:`similarity_time`).
         """
         chunk_size = min(chunk_size, self.config.chunk_capacity)
         chunk_size = max(1, min(chunk_size, num_candidates))
@@ -160,7 +193,7 @@ class SelectionKernel:
         k_per_chunk = max(1, -(-subset_size // num_chunks))
         return (
             self.forward_time(num_candidates, flops_per_sample)
-            + self.similarity_time(chunk_size, proxy_dim, num_chunks)
+            + self.similarity_time(chunk_size, proxy_dim, num_chunks, quantized=quantized)
             + self.greedy_time(chunk_size, k_per_chunk, num_chunks)
         )
 

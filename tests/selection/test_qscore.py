@@ -1,0 +1,450 @@
+"""The int8 quantized scoring engine: exactness, equivalence, reuse.
+
+Three layers of guarantees:
+
+- **engine exactness** — the integer Gram-identity path produces *exactly*
+  the distances of the dequantized proxies (int math + one f32 rescale),
+  so int8 selection equals fp64 selection over the dequantized vectors;
+- **quantization quality** — against the full fp32/fp64 host path the
+  only loss is the int8 rounding itself: facility-location value within
+  1% everywhere, and >= 95% top-k overlap on the reference planted-medoid
+  scenarios (where selection has actual structure to recover);
+- **reuse correctness** — the cross-round block cache and the memoized
+  greedy results are content-addressed, so hits are bit-identical to
+  recomputes; selections stay bit-identical across worker counts and
+  with the overlap pipeline in strict mode.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.config import NeSSAConfig
+from repro.core.selector import NeSSASelector
+from repro.parallel.store import shared_memory_available
+from repro.selection.facility import (
+    lazy_greedy,
+    medoid_weights,
+    similarity_from_distances,
+)
+from repro.selection.pairwise import pairwise_distances
+from repro.selection.qscore import (
+    INT8_BITS,
+    QuantizedProxySet,
+    SimilarityBlockCache,
+    bucket_digest,
+    default_block_cache,
+    int8_similarity,
+    quantize_class_rows,
+    quantize_proxies,
+    reset_default_block_cache,
+    select_class_quantized,
+)
+
+# Reference seeds for the planted-medoid equivalence scenarios; chosen
+# once and committed — the suite is fully deterministic.
+REFERENCE_SEEDS = (0, 3, 7)
+
+
+@pytest.fixture(autouse=True)
+def fresh_default_cache():
+    """Isolate every test from the process-wide rescore cache."""
+    reset_default_block_cache()
+    yield
+    reset_default_block_cache()
+
+
+def fl_value(similarity, selected):
+    """Facility-location objective of ``selected`` under ``similarity``."""
+    return float(np.maximum.reduce(similarity[:, selected], axis=1).sum())
+
+
+def planted_bucket(rng, clusters=12, sats=20, d=10, sep=4.0):
+    """A class bucket with planted medoids: cluster centers + shell points.
+
+    Each cluster is one central point surrounded by satellites pushed out
+    to radius 1..2, so the greedy medoid of each cluster has a wide gain
+    margin — the regime where subset *content* (not just FL value) is
+    determined by the data rather than by ties.
+    """
+    rows = []
+    for _ in range(clusters):
+        center = rng.normal(scale=sep, size=d)
+        rows.append(center[None, :])
+        dirs = rng.normal(size=(sats, d))
+        dirs /= np.linalg.norm(dirs, axis=1, keepdims=True)
+        radii = rng.uniform(1.0, 2.0, size=(sats, 1))
+        rows.append(center + dirs * radii)
+    return np.concatenate(rows)
+
+
+def fp_reference(rows, k):
+    """The repo's float host path on one bucket."""
+    similarity = similarity_from_distances(pairwise_distances(rows))
+    sel = lazy_greedy(similarity, k, validate=False)
+    return sel, medoid_weights(similarity, sel), similarity
+
+
+# -- quantization -------------------------------------------------------------
+
+
+class TestQuantizeClassRows:
+    def test_roundtrip_error_bounded_by_half_step(self, rng):
+        rows = rng.normal(size=(64, 12))
+        q, scale, err = quantize_class_rows(rows)
+        assert q.dtype == np.int8
+        assert err <= scale * 0.5 * (1 + 1e-5) + np.finfo(np.float32).eps
+        assert np.max(np.abs(q.astype(np.float32) * np.float32(scale) - rows)) \
+            == pytest.approx(err)
+
+    def test_empty_bucket(self):
+        q, scale, err = quantize_class_rows(np.zeros((0, 8)))
+        assert q.shape == (0, 8)
+        assert scale == 1.0 and err == 0.0
+
+    def test_bits_validated(self, rng):
+        with pytest.raises(ValueError):
+            quantize_class_rows(rng.normal(size=(4, 4)), bits=16)
+
+    def test_quantize_proxies_matches_per_class(self, rng):
+        vectors = rng.normal(size=(60, 6))
+        labels = rng.integers(0, 3, size=60)
+        qset = quantize_proxies(vectors, labels)
+        assert isinstance(qset, QuantizedProxySet)
+        assert qset.q.dtype == np.int8 and qset.q.shape == vectors.shape
+        for label in np.unique(labels):
+            local = np.flatnonzero(labels == label)
+            qc, scale, _ = quantize_class_rows(vectors[local])
+            assert np.array_equal(qset.q[local], qc)
+            assert qset.scales[int(label)] == scale
+            assert qset.digests[int(label)] == bucket_digest(qc, scale)
+        assert set(qset.perm_entropy) == set(qset.digests)
+        assert all(isinstance(v, int) for v in qset.perm_entropy.values())
+
+    def test_quantize_proxies_validates_shapes(self, rng):
+        with pytest.raises(ValueError):
+            quantize_proxies(rng.normal(size=(4,)), np.zeros(4))
+        with pytest.raises(ValueError):
+            quantize_proxies(rng.normal(size=(4, 2)), np.zeros(3))
+
+
+class TestBucketDigest:
+    def test_stable_and_content_sensitive(self, rng):
+        q = rng.integers(-127, 128, size=(16, 4)).astype(np.int8)
+        d = bucket_digest(q, 0.5)
+        assert d == bucket_digest(q.copy(), 0.5)
+        flipped = q.copy()
+        flipped[0, 0] += 1
+        assert bucket_digest(flipped, 0.5) != d
+        assert bucket_digest(q, 0.25) != d  # scale is part of the key
+        assert bucket_digest(q, 0.5, bits=7) != d  # so is the bit width
+        assert bucket_digest(q.reshape(4, 16), 0.5) != d  # and the shape
+
+
+# -- the int8 similarity kernel -----------------------------------------------
+
+
+class TestInt8Similarity:
+    def test_exact_against_int64_reference(self, rng):
+        rows = rng.normal(size=(80, 10))
+        q, scale, _ = quantize_class_rows(rows)
+        sim, macs = int8_similarity(q, scale)
+        assert sim.dtype == np.float32
+        assert macs == 80 * 80 * 10
+        qi = q.astype(np.int64)
+        d2 = ((qi[:, None, :] - qi[None, :, :]) ** 2).sum(axis=2)
+        dist = np.sqrt(d2.astype(np.float32))
+        dist *= np.float32(scale)
+        expected = np.float32(dist.max()) - dist
+        assert np.array_equal(sim, expected)
+
+    def test_block_tiling_is_identical(self, rng):
+        q, scale, _ = quantize_class_rows(rng.normal(size=(70, 8)))
+        full, _ = int8_similarity(q, scale)
+        tiled, _ = int8_similarity(q, scale, block_size=16)
+        budgeted, _ = int8_similarity(q, scale, memory_budget_bytes=16 * 1024)
+        assert np.array_equal(full, tiled)
+        assert np.array_equal(full, budgeted)
+
+    def test_rejects_float_input(self, rng):
+        with pytest.raises(TypeError):
+            int8_similarity(rng.normal(size=(4, 4)), 0.5)
+
+    def test_overflow_guard(self):
+        d = 2**31 // (4 * 127 * 127) + 1
+        with pytest.raises(ValueError, match="overflows int32"):
+            int8_similarity(np.zeros((2, d), dtype=np.int8), 1.0)
+
+    def test_empty(self):
+        sim, macs = int8_similarity(np.zeros((0, 4), dtype=np.int8), 1.0)
+        assert sim.shape == (0, 0) and macs == 0
+
+
+# -- the cross-round cache ----------------------------------------------------
+
+
+class TestSimilarityBlockCache:
+    def test_hit_miss_accounting_and_lru(self):
+        cache = SimilarityBlockCache(max_entries=2)
+        a, b, c = (np.full((2, 2), v, dtype=np.float32) for v in (1, 2, 3))
+        assert cache.get("a") is None
+        cache.put("a", a)
+        cache.put("b", b)
+        assert np.array_equal(cache.get("a"), a)  # refreshes a's recency
+        cache.put("c", c)  # evicts b, the least recently used
+        assert cache.get("b") is None
+        assert np.array_equal(cache.get("c"), c)
+        stats = cache.stats
+        assert stats["hits"] == 2 and stats["misses"] == 2
+        assert stats["entries"] == 2
+        assert stats["bytes_cached"] == a.nbytes + c.nbytes
+
+    def test_selection_memo_returns_copies(self):
+        cache = SimilarityBlockCache()
+        cache.put("d", np.zeros((3, 3), dtype=np.float32))
+        sel = np.array([0, 2])
+        w = np.array([2.0, 1.0])
+        cache.put_selection("d", 2, "lazy", sel, w)
+        got_sel, got_w = cache.get_selection("d", 2, "lazy")
+        got_sel[0] = 99
+        again_sel, _ = cache.get_selection("d", 2, "lazy")
+        assert again_sel[0] == 0  # the cached array was not corrupted
+        assert np.array_equal(got_w, w)
+        assert cache.get_selection("d", 3, "lazy") is None  # k is in the key
+
+    def test_put_selection_without_block_is_noop(self):
+        cache = SimilarityBlockCache()
+        cache.put_selection("missing", 2, "lazy", np.zeros(2, np.int64),
+                            np.zeros(2))
+        assert cache.get_selection("missing", 2, "lazy") is None
+
+    def test_max_entries_validated(self):
+        with pytest.raises(ValueError):
+            SimilarityBlockCache(max_entries=0)
+
+
+class TestSelectClassQuantized:
+    def test_cache_hit_bit_identical_to_recompute(self, rng):
+        q, scale, _ = quantize_class_rows(planted_bucket(rng))
+        warm = SimilarityBlockCache()
+        sel1, w1, b1, s1 = select_class_quantized(q, scale, 12, cache=warm)
+        sel2, w2, b2, s2 = select_class_quantized(q, scale, 12, cache=warm)
+        cold_sel, cold_w, _, _ = select_class_quantized(
+            q, scale, 12, cache=SimilarityBlockCache()
+        )
+        assert not s1["cache_hit"] and s1["macs"] > 0
+        assert s2["cache_hit"] and s2["select_hit"] and s2["macs"] == 0
+        for sel, w in ((sel2, w2), (cold_sel, cold_w)):
+            assert np.array_equal(sel1, sel)
+            assert np.array_equal(w1, w)
+        assert b1 == b2 == q.shape[0] ** 2  # 1 byte per int8 entry
+
+    def test_stochastic_reuses_block_but_not_selection(self, rng):
+        q, scale, _ = quantize_class_rows(rng.normal(size=(50, 6)))
+        cache = SimilarityBlockCache()
+        out1 = select_class_quantized(
+            q, scale, 8, method="stochastic",
+            rng=np.random.default_rng(5), cache=cache,
+        )
+        out2 = select_class_quantized(
+            q, scale, 8, method="stochastic",
+            rng=np.random.default_rng(5), cache=cache,
+        )
+        assert out2[3]["cache_hit"] and not out2[3]["select_hit"]
+        assert cache.select_hits == 0  # rng-dependent results never memoized
+        assert np.array_equal(out1[0], out2[0])  # same rng stream, same picks
+
+    def test_default_cache_serves_cross_call_hits(self, rng):
+        q, scale, _ = quantize_class_rows(rng.normal(size=(30, 4)))
+        select_class_quantized(q, scale, 5)
+        select_class_quantized(q, scale, 5)
+        assert default_block_cache().hits == 1
+
+    def test_validation_and_empty(self, rng):
+        q, scale, _ = quantize_class_rows(rng.normal(size=(10, 4)))
+        with pytest.raises(ValueError, match="unknown method"):
+            select_class_quantized(q, scale, 3, method="grid")
+        with pytest.raises(ValueError):
+            select_class_quantized(q, scale, 3, similarity_dtype_bytes=0)
+        sel, w, nbytes, stats = select_class_quantized(
+            np.zeros((0, 4), dtype=np.int8), 1.0, 3
+        )
+        assert sel.size == 0 and w.size == 0 and nbytes == 0
+        assert stats["digest"] is None
+        sel, _, _, _ = select_class_quantized(q, scale, 99)  # k clamps to n
+        assert len(sel) == 10
+
+
+# -- equivalence vs the float host path ---------------------------------------
+
+
+class TestEquivalence:
+    def test_engine_exact_vs_dequantized_float_path(self, rng):
+        """Isolated engine: int8 selection == fp64 selection on dequantized
+        rows — the quantized path adds no error beyond quantization."""
+        for _ in range(3):
+            rows = planted_bucket(rng)
+            q, scale, _ = quantize_class_rows(rows)
+            dequantized = q.astype(np.float64) * scale
+            sel_fp, w_fp, _ = fp_reference(dequantized, 12)
+            sel_q, w_q, _, _ = select_class_quantized(
+                q, scale, 12, cache=SimilarityBlockCache()
+            )
+            assert np.array_equal(np.sort(sel_fp), np.sort(sel_q))
+
+    @pytest.mark.parametrize("seed", REFERENCE_SEEDS)
+    def test_reference_scenarios_fl_and_topk_bounds(self, seed):
+        """int8 vs fp32: FL value within 1%, top-k overlap >= 95%."""
+        gen = np.random.default_rng(seed)
+        k = 12
+        for _ in range(4):  # four class buckets per scenario
+            rows = planted_bucket(gen)
+            sel_fp, _, similarity = fp_reference(rows, k)
+            sel_q, _, _, _ = select_class_quantized(
+                *quantize_class_rows(rows)[:2], k,
+                cache=SimilarityBlockCache(),
+            )
+            value_fp = fl_value(similarity, sel_fp)
+            value_q = fl_value(similarity, sel_q)
+            assert value_q >= 0.99 * value_fp
+            overlap = len(set(sel_fp.tolist()) & set(sel_q.tolist())) / k
+            assert overlap >= 0.95
+
+    @pytest.mark.parametrize("seed", range(8))
+    def test_fl_value_within_1pct_on_unstructured_data(self, seed):
+        """The FL bound holds even on tie-heavy gaussian clouds."""
+        gen = np.random.default_rng(seed)
+        rows = gen.normal(size=(300, 10))
+        sel_fp, _, similarity = fp_reference(rows, 45)
+        sel_q, _, _, _ = select_class_quantized(
+            *quantize_class_rows(rows)[:2], 45, cache=SimilarityBlockCache()
+        )
+        assert fl_value(similarity, sel_q) >= 0.99 * fl_value(similarity, sel_fp)
+
+
+# -- selector integration: determinism and cross-round reuse ------------------
+
+
+def _int8_config(**overrides):
+    defaults = dict(
+        subset_fraction=0.25,
+        use_biasing=False,
+        seed=5,
+        quantized_scoring="int8",
+    )
+    defaults.update(overrides)
+    return NeSSAConfig(**defaults)
+
+
+class TestSelectorIntegration:
+    @pytest.mark.skipif(
+        not shared_memory_available(), reason="POSIX shared memory unavailable"
+    )
+    @pytest.mark.parametrize("workers", [2, 4])
+    def test_bit_identical_across_worker_counts(
+        self, train_test_split, tiny_model, workers
+    ):
+        train, _ = train_test_split
+        results = []
+        for count in (1, workers):
+            reset_default_block_cache()
+            with NeSSASelector(_int8_config(workers=count),
+                               chunk_select=16) as selector:
+                results.append(selector.select(train, 0.25, tiny_model))
+        serial, parallel = results
+        assert np.array_equal(serial.positions, parallel.positions)
+        assert np.array_equal(serial.weights, parallel.weights)
+        assert serial.pairwise_bytes == parallel.pairwise_bytes
+
+    def test_unchanged_feedback_round_skips_all_blocks(
+        self, train_test_split, tiny_model
+    ):
+        """Late-epoch scenario: identical feedback => 100% block skips and
+        a bit-identical selection, with zero MACs executed."""
+        train, _ = train_test_split
+        with NeSSASelector(_int8_config(), chunk_select=16) as selector:
+            first = selector.select(train, 0.25, tiny_model)
+            cold = selector.qscore_stats
+            second = selector.select(train, 0.25, tiny_model)
+            warm = selector.qscore_stats
+        assert cold["block_misses"] == cold["blocks"] > 0
+        assert warm["block_hits"] == warm["blocks"]
+        assert warm["block_hits"] / warm["blocks"] >= 0.5  # the acceptance bar
+        assert warm["macs"] == 0
+        assert warm["select_hits"] == warm["blocks"]
+        assert np.array_equal(first.positions, second.positions)
+        assert np.array_equal(first.weights, second.weights)
+
+    def test_changed_feedback_invalidates_digests(
+        self, train_test_split, tiny_model
+    ):
+        from repro.nn.resnet import resnet20
+
+        train, _ = train_test_split
+        with NeSSASelector(_int8_config(proxy_cache_entries=0),
+                           chunk_select=16) as selector:
+            selector.select(train, 0.25, tiny_model)
+            other = resnet20(num_classes=4, width=4, seed=99)
+            selector.select(train, 0.25, other)
+            stats = selector.qscore_stats
+        assert stats["block_misses"] == stats["blocks"]
+
+    def test_off_mode_reports_no_qscore_stats(
+        self, train_test_split, tiny_model
+    ):
+        train, _ = train_test_split
+        with NeSSASelector(_int8_config(quantized_scoring="off"),
+                           chunk_select=16) as selector:
+            result = selector.select(train, 0.25, tiny_model)
+        assert selector.qscore_stats is None
+        assert result.positions.size > 0
+
+    def test_int8_shrinks_similarity_footprint(
+        self, train_test_split, tiny_model
+    ):
+        train, _ = train_test_split
+        sizes = {}
+        for scoring in ("off", "int8"):
+            with NeSSASelector(_int8_config(quantized_scoring=scoring),
+                               chunk_select=16) as selector:
+                sizes[scoring] = selector.select(
+                    train, 0.25, tiny_model
+                ).pairwise_bytes
+        # int8 similarity entries are 1 byte vs 4 on the fp32 host path.
+        assert sizes["int8"] * 4 == sizes["off"]
+
+
+class TestOverlapIdentity:
+    def test_strict_overlap_matches_serial_under_int8(self):
+        """Overlap on/off with quantized scoring: strict mode bit-identity."""
+        from repro.core.config import TrainRecipe
+        from repro.core.trainer import NeSSATrainer
+        from repro.data.synthetic import SyntheticConfig, make_train_test
+        from repro.nn.resnet import resnet20
+
+        data = make_train_test(SyntheticConfig(
+            num_classes=4, num_samples=160, image_shape=(3, 8, 8), seed=9
+        ))
+        histories = []
+        for overlap in (False, True):
+            reset_default_block_cache()
+            cfg = NeSSAConfig(
+                subset_fraction=0.4, select_every=2, seed=0,
+                quantized_scoring="int8", overlap=overlap,
+                stale_feedback="off",
+            )
+            model = resnet20(num_classes=4, width=4, seed=13)
+            trainer = NeSSATrainer(
+                model, TrainRecipe(epochs=3, batch_size=32, lr=0.05,
+                                   lr_milestones=()),
+                cfg, lambda: resnet20(num_classes=4, width=4, seed=13),
+            )
+            try:
+                histories.append(trainer.train(*data))
+            finally:
+                trainer.selector.close()
+        serial, overlapped = histories
+        for a, b in zip(serial.records, overlapped.records):
+            assert a.train_loss == b.train_loss
+            assert a.test_accuracy == b.test_accuracy
+            assert a.subset_size == b.subset_size
+            assert a.selection_pairwise_bytes == b.selection_pairwise_bytes
