@@ -7,11 +7,18 @@ byte accounting (PR 1), shared-memory segments must never leak, errors
 must not be silently swallowed, and nn forward shapes must compose.
 This package machine-checks them with a stdlib-``ast`` engine:
 
-- :mod:`repro.analysis.engine` — file walker + per-file visitor pipeline;
+- :mod:`repro.analysis.engine` — per-file visitor pipeline + pragmas;
+- :mod:`repro.analysis.scan` — scan orchestration: cache, ``--jobs``
+  fan-out, ``--changed-only`` scoping, project-rule execution;
+- :mod:`repro.analysis.project` — whole-program index: module/symbol
+  table, conservative call graph with thread/pool spawn edges,
+  worker/main reachability, float64-producer fixed point;
 - :mod:`repro.analysis.registry` — checker registry (one class per rule);
-- :mod:`repro.analysis.rules` — the NES001–NES006 rule implementations;
+- :mod:`repro.analysis.rules` — the NES001–NES010 rule implementations;
 - :mod:`repro.analysis.findings` — structured findings + fingerprints;
-- :mod:`repro.analysis.baseline` — grandfathered-finding baseline file.
+- :mod:`repro.analysis.baseline` — grandfathered-finding baseline file;
+- :mod:`repro.analysis.cache` — ``.lint_cache.json`` incremental cache;
+- :mod:`repro.analysis.sarif` — SARIF 2.1.0 export for CI annotation.
 
 Entry point: ``python -m repro.cli lint`` (see ``--help``); inline
 suppression: ``# lint: allow-<pragma>(reason)`` with a mandatory reason.
@@ -23,9 +30,11 @@ from repro.analysis.baseline import (
     unjustified_entries,
     write_baseline,
 )
-from repro.analysis.engine import lint_paths, lint_source
+from repro.analysis.engine import lint_source
 from repro.analysis.findings import Finding
 from repro.analysis.registry import all_checkers, rule_ids
+from repro.analysis.sarif import build_sarif
+from repro.analysis.scan import lint_paths
 
 __all__ = [
     "Finding",
@@ -37,4 +46,5 @@ __all__ = [
     "write_baseline",
     "unjustified_entries",
     "partition_findings",
+    "build_sarif",
 ]

@@ -1,0 +1,148 @@
+"""Incremental lint cache (``.lint_cache.json``).
+
+Per-file lint results and :class:`~repro.analysis.project.FileIndex`
+entries keyed by a blake2b hash of the file's bytes, so an unchanged
+file costs one hash instead of a parse + full rule pass on re-lint.
+
+Two invalidation levels:
+
+- **per file** — the content hash mismatches: the entry is recomputed.
+- **whole cache** — the *engine signature* (a hash over every source
+  file of ``repro.analysis`` itself) mismatches: editing any rule or
+  the engine silently discards the cache, so stale findings can never
+  survive a checker change.
+
+The cache file is an implementation detail: corrupt, missing or
+old-version files load as an empty cache, never an error.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+
+from repro.analysis.findings import Finding
+from repro.analysis.project import FileIndex
+
+__all__ = ["LintCache", "content_hash", "engine_signature", "DEFAULT_CACHE_NAME"]
+
+CACHE_VERSION = 1
+DEFAULT_CACHE_NAME = ".lint_cache.json"
+
+_signature_memo: str | None = None
+
+
+def content_hash(data: bytes) -> str:
+    h = hashlib.blake2b(digest_size=16)
+    h.update(data)
+    return h.hexdigest()
+
+
+def engine_signature() -> str:
+    """Hash of every ``repro.analysis`` source file (rules included)."""
+    global _signature_memo
+    if _signature_memo is None:
+        pkg_dir = os.path.dirname(os.path.abspath(__file__))
+        h = hashlib.blake2b(digest_size=16)
+        for dirpath, dirnames, filenames in os.walk(pkg_dir):
+            dirnames[:] = sorted(d for d in dirnames if d != "__pycache__")
+            for name in sorted(filenames):
+                if not name.endswith(".py"):
+                    continue
+                full = os.path.join(dirpath, name)
+                h.update(os.path.relpath(full, pkg_dir).encode())
+                with open(full, "rb") as f:
+                    h.update(f.read())
+        _signature_memo = h.hexdigest()
+    return _signature_memo
+
+
+def _findings_to_json(findings: list) -> list:
+    return [f.to_dict() for f in findings]
+
+
+def _findings_from_json(items: list) -> list:
+    return [Finding(**item) for item in items]
+
+
+class LintCache:
+    """Load/store per-file lint results keyed by content hash."""
+
+    def __init__(self, path: str):
+        self.path = path
+        self.entries: dict[str, dict] = {}
+        self._touched: dict[str, dict] = {}
+
+    @classmethod
+    def load(cls, path: str) -> "LintCache":
+        cache = cls(path)
+        try:
+            with open(path, encoding="utf-8") as f:
+                data = json.load(f)
+        except (OSError, ValueError):
+            return cache
+        if (
+            not isinstance(data, dict)
+            or data.get("version") != CACHE_VERSION
+            or data.get("signature") != engine_signature()
+        ):
+            return cache
+        files = data.get("files")
+        if isinstance(files, dict):
+            cache.entries = files
+        return cache
+
+    def get(self, recorded_path: str, file_hash: str):
+        """Cached ``(findings, suppressed, FileIndex | None)`` or None."""
+        entry = self.entries.get(recorded_path)
+        if not isinstance(entry, dict) or entry.get("hash") != file_hash:
+            return None
+        try:
+            findings = _findings_from_json(entry["findings"])
+            suppressed = _findings_from_json(entry["suppressed"])
+            index = (
+                FileIndex.from_dict(entry["index"])
+                if entry.get("index") is not None
+                else None
+            )
+        except (KeyError, TypeError):
+            return None
+        self._touched[recorded_path] = entry
+        return findings, suppressed, index
+
+    def put(
+        self,
+        recorded_path: str,
+        file_hash: str,
+        findings: list,
+        suppressed: list,
+        index,
+    ) -> None:
+        entry = {
+            "hash": file_hash,
+            "findings": _findings_to_json(findings),
+            "suppressed": _findings_to_json(suppressed),
+            "index": index.to_dict() if index is not None else None,
+        }
+        self.entries[recorded_path] = entry
+        self._touched[recorded_path] = entry
+
+    def save(self) -> None:
+        """Persist entries touched this run (removed files age out)."""
+        payload = {
+            "version": CACHE_VERSION,
+            "signature": engine_signature(),
+            "files": dict(sorted(self._touched.items())),
+        }
+        tmp = f"{self.path}.tmp"
+        try:
+            with open(tmp, "w", encoding="utf-8") as f:
+                json.dump(payload, f, separators=(",", ":"))
+            os.replace(tmp, self.path)
+        except OSError:
+            # a read-only tree degrades to a cold scan, never an error
+            try:
+                os.unlink(tmp)
+            except OSError:
+                pass

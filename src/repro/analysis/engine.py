@@ -11,9 +11,15 @@ engine owns the cross-cutting mechanics so rules stay small:
   mandatory: a pragma without one does not suppress anything.
 - **fingerprints** — every surviving finding gets the line-content hash
   the baseline machinery matches on.
-- **path recording** — file paths are recorded relative to the scanned
-  argument (``src/repro/...`` when scanning ``src``), so baselines are
-  stable across machines and working directories.
+- **path recording** — file paths are recorded relative to the
+  enclosing repo root (the nearest ancestor with a ``.git`` or
+  ``pyproject.toml`` marker), so ``src/repro/...`` comes out identical
+  no matter which directory the scan runs from.  Trees without a
+  marker (test fixtures) fall back to scan-arg-relative recording.
+
+:func:`lint_paths` itself lives in :mod:`repro.analysis.scan` (it owns
+caching, parallelism and the project-level rules) and is re-exported
+here for compatibility.
 """
 
 from __future__ import annotations
@@ -27,7 +33,7 @@ from repro.analysis import findings as findings_mod
 from repro.analysis.findings import Finding
 from repro.analysis.registry import all_checkers
 
-__all__ = ["FileContext", "lint_paths", "lint_source", "PRAGMA_RE"]
+__all__ = ["FileContext", "lint_source", "PRAGMA_RE"]
 
 PRAGMA_RE = re.compile(r"#\s*lint:\s*allow-([a-z0-9-]+)\(([^()]*)\)")
 
@@ -65,9 +71,49 @@ def _parse_pragmas(lines: list[str]) -> dict[int, dict[str, str]]:
     return pragmas
 
 
+_ROOT_MARKERS = (".git", "pyproject.toml")
+_repo_root_cache: dict[str, str | None] = {}
+
+
+def _find_repo_root(start_dir: str) -> str | None:
+    """Nearest ancestor of ``start_dir`` carrying a repo-root marker."""
+    cur = os.path.realpath(start_dir)
+    probed: list[str] = []
+    root: str | None = None
+    while True:
+        if cur in _repo_root_cache:
+            root = _repo_root_cache[cur]
+            break
+        probed.append(cur)
+        if any(os.path.exists(os.path.join(cur, m)) for m in _ROOT_MARKERS):
+            root = cur
+            break
+        parent = os.path.dirname(cur)
+        if parent == cur:
+            break
+        cur = parent
+    for p in probed:
+        _repo_root_cache[p] = root
+    return root
+
+
 def _record_path(file_path: str, scan_arg: str) -> str:
-    """Path as recorded in findings/baselines: relative to the scan arg,
-    prefixed with the scan arg's basename (``src/repro/...``)."""
+    """Path as recorded in findings/baselines.
+
+    Relative to the enclosing repo root when one exists — cwd-invariant,
+    so the same ``src/repro/...`` strings (and therefore the same
+    baseline fingerprints) come out of ``lint src`` run from the repo
+    root, a subdirectory, or CI.  Trees without a root marker fall back
+    to the historical scan-arg-relative scheme.  Baselines written by
+    pre-hardening versions from a *non-root* working directory need one
+    ``--write-baseline`` regeneration; root-run baselines are unchanged.
+    """
+    real = os.path.realpath(file_path)
+    root = _find_repo_root(os.path.dirname(real) or ".")
+    if root is not None:
+        rel = os.path.relpath(real, root)
+        if not rel.startswith(".."):
+            return rel.replace(os.sep, "/")
     base = os.path.normpath(scan_arg)
     if os.path.isfile(base):
         rel = os.path.basename(base)
@@ -124,6 +170,9 @@ def lint_source(
     )
     if checkers is None:
         checkers = all_checkers()
+    # project rules run over the assembled ProjectIndex (see scan.py),
+    # never per file
+    checkers = [c for c in checkers if not getattr(c, "project", False)]
     kept: list[Finding] = []
     suppressed: list[Finding] = []
     for checker in checkers:
@@ -136,47 +185,3 @@ def lint_source(
             else:
                 kept.append(finding)
     return kept, suppressed
-
-
-def lint_paths(
-    paths: list[str],
-    select: set[str] | None = None,
-    ignore: set[str] | None = None,
-) -> tuple[list[Finding], list[Finding]]:
-    """Lint every python file under ``paths``; returns (findings, suppressed).
-
-    ``select``/``ignore`` filter by rule id (``select`` wins first, then
-    ``ignore`` subtracts; NES000 parse errors always survive).
-    """
-    checkers = all_checkers()
-    findings: list[Finding] = []
-    suppressed: list[Finding] = []
-    seen: set[str] = set()
-    for scan_arg in paths:
-        if not os.path.exists(scan_arg):
-            raise FileNotFoundError(f"lint path does not exist: {scan_arg}")
-        for file_path in _iter_python_files(scan_arg):
-            real = os.path.realpath(file_path)
-            if real in seen:
-                continue
-            seen.add(real)
-            with open(file_path, encoding="utf-8") as f:
-                source = f.read()
-            kept, supp = lint_source(
-                source, _record_path(file_path, scan_arg), checkers=checkers
-            )
-            findings.extend(kept)
-            suppressed.extend(supp)
-
-    def passes(f: Finding) -> bool:
-        if f.rule == "NES000":
-            return True
-        if select is not None and f.rule not in select:
-            return False
-        if ignore is not None and f.rule in ignore:
-            return False
-        return True
-
-    findings = sorted((f for f in findings if passes(f)), key=Finding.sort_key)
-    suppressed = sorted((f for f in suppressed if passes(f)), key=Finding.sort_key)
-    return findings, suppressed

@@ -10,16 +10,21 @@
 | NES006 | allow-span-with        | obs spans are with-managed at the call site |
 | NES007 | allow-pool-lease       | buffer-pool leases released on all exit paths |
 | NES008 | allow-upcast           | no float64 creation/upcast inside selection/qscore |
+| NES009 | allow-shared-state     | no unlocked cross-thread attribute writes (project) |
+| NES010 | allow-f64-escape       | no float64 flow into qscore/craig hot paths (project) |
 
 (NES000 is the engine's parse-failure pseudo-rule; it has no pragma and
-cannot be baselined.)
+cannot be baselined.  NES009/NES010 are whole-program rules driven by
+:mod:`repro.analysis.project`.)
 """
 
 from repro.analysis.rules import (  # noqa: F401 - imports register checkers
     determinism,
+    escape,
     exceptions,
     pool,
     precision,
+    races,
     shape,
     shm,
     spans,

@@ -167,6 +167,7 @@ class NeSSASelector:
         scales = None
         if scoring == "int8":
             with obs.span("qscore_quantize", candidates=int(len(labels))) as qsp:
+                # lint: allow-f64-escape(quantize_proxies IS the fp64-to-int8 boundary: scales are computed at full precision, then rows collapse to 1-byte buckets)
                 qset = quantize_proxies(proxy.vectors, labels)
                 qsp.set(dequant_error=qset.dequant_error, classes=len(qset.scales))
             obs.metrics().gauge("qscore.dequant_error").set(qset.dequant_error)
@@ -185,6 +186,7 @@ class NeSSASelector:
             chunk_select=chunk_select,
             perm_entropy=perm_entropy,
         )
+        # lint: allow-shared-state(one round in flight: AsyncSelectionRound.launch refuses a second round and its join precedes the trainer's next select call)
         self._round += 1
         spec = SelectionSpec(
             method=self.config.selection_method,
@@ -211,6 +213,7 @@ class NeSSASelector:
             weights.append(w)
             max_pairwise = max(max_pairwise, nbytes)
 
+        # lint: allow-shared-state(one round in flight: written by the single active select call, read by the trainer only after join)
         self.last_pairwise_bytes = max_pairwise
         return SelectionResult(
             positions=np.concatenate(positions) if positions else np.zeros(0, np.int64),

@@ -12,10 +12,15 @@ Names are dotted (``proxy_cache.hits``, ``shm.bytes_published``);
 instruments are created on first use and accumulate for the registry's
 lifetime.  Everything here is stdlib-only and single-process — pool
 workers do not write metrics (their work is accounted by the spans the
-engine forwards).
+engine forwards) — but the overlapped pipeline (PR 5) *does* write
+from its selection thread, so real instruments guard their mutations
+with a lock.  The null-registry fast path stays lock-free: disabled
+mode is still one global read plus one no-op call.
 """
 
 from __future__ import annotations
+
+import threading
 
 __all__ = [
     "Counter",
@@ -32,35 +37,39 @@ __all__ = [
 class Counter:
     """Monotone accumulator (``inc`` by a non-negative amount)."""
 
-    __slots__ = ("name", "value")
+    __slots__ = ("name", "value", "_lock")
 
     def __init__(self, name: str):
         self.name = name
         self.value = 0
+        self._lock = threading.Lock()
 
     def inc(self, amount: int = 1) -> None:
         if amount < 0:
             raise ValueError("counters only increase; use a gauge")
-        self.value += amount
+        with self._lock:
+            self.value += amount
 
 
 class Gauge:
     """Last-write-wins sample (``set``)."""
 
-    __slots__ = ("name", "value")
+    __slots__ = ("name", "value", "_lock")
 
     def __init__(self, name: str):
         self.name = name
         self.value = 0.0
+        self._lock = threading.Lock()
 
     def set(self, value: float) -> None:
-        self.value = float(value)
+        with self._lock:
+            self.value = float(value)
 
 
 class Timer:
     """Streaming histogram of durations (count / total / min / max)."""
 
-    __slots__ = ("name", "count", "total_s", "min_s", "max_s")
+    __slots__ = ("name", "count", "total_s", "min_s", "max_s", "_lock")
 
     def __init__(self, name: str):
         self.name = name
@@ -68,14 +77,16 @@ class Timer:
         self.total_s = 0.0
         self.min_s = float("inf")
         self.max_s = 0.0
+        self._lock = threading.Lock()
 
     def observe(self, seconds: float) -> None:
         if seconds < 0:
             raise ValueError("durations must be >= 0")
-        self.count += 1
-        self.total_s += seconds
-        self.min_s = min(self.min_s, seconds)
-        self.max_s = max(self.max_s, seconds)
+        with self._lock:
+            self.count += 1
+            self.total_s += seconds
+            self.min_s = min(self.min_s, seconds)
+            self.max_s = max(self.max_s, seconds)
 
     @property
     def mean_s(self) -> float:
@@ -98,37 +109,43 @@ class MetricsRegistry:
         self._counters: dict[str, Counter] = {}
         self._gauges: dict[str, Gauge] = {}
         self._timers: dict[str, Timer] = {}
+        self._lock = threading.Lock()
 
     def counter(self, name: str) -> Counter:
         instrument = self._counters.get(name)
         if instrument is None:
-            instrument = self._counters[name] = Counter(name)
+            with self._lock:
+                instrument = self._counters.setdefault(name, Counter(name))
         return instrument
 
     def gauge(self, name: str) -> Gauge:
         instrument = self._gauges.get(name)
         if instrument is None:
-            instrument = self._gauges[name] = Gauge(name)
+            with self._lock:
+                instrument = self._gauges.setdefault(name, Gauge(name))
         return instrument
 
     def timer(self, name: str) -> Timer:
         instrument = self._timers.get(name)
         if instrument is None:
-            instrument = self._timers[name] = Timer(name)
+            with self._lock:
+                instrument = self._timers.setdefault(name, Timer(name))
         return instrument
 
     def snapshot(self) -> dict:
         """JSON-able dump of every instrument's current state."""
-        return {
-            "counters": {n: c.value for n, c in sorted(self._counters.items())},
-            "gauges": {n: g.value for n, g in sorted(self._gauges.items())},
-            "timers": {n: t.to_dict() for n, t in sorted(self._timers.items())},
-        }
+        with self._lock:
+            return {
+                "counters": {n: c.value for n, c in sorted(self._counters.items())},
+                "gauges": {n: g.value for n, g in sorted(self._gauges.items())},
+                "timers": {n: t.to_dict() for n, t in sorted(self._timers.items())},
+            }
 
     def reset(self) -> None:
-        self._counters.clear()
-        self._gauges.clear()
-        self._timers.clear()
+        with self._lock:
+            self._counters.clear()
+            self._gauges.clear()
+            self._timers.clear()
 
 
 class _NullCounter:

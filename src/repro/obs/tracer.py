@@ -155,6 +155,7 @@ class Tracer:
             suffix = f"{name}@{_render_key(key)}"
         else:
             seq = self._seq.get((parent_id, name), 0)
+            # lint: allow-shared-state(the selection thread runs under obs.suppress, so only the training thread ever reaches id derivation)
             self._seq[(parent_id, name)] = seq + 1
             suffix = f"{name}#{seq}"
         return suffix if parent_id is None else f"{parent_id}/{suffix}"

@@ -19,6 +19,7 @@ invalidation axes.
 from __future__ import annotations
 
 import hashlib
+import threading
 from collections import OrderedDict
 
 import numpy as np
@@ -74,6 +75,10 @@ class ProxyCache:
         self.hits = 0
         self.misses = 0
         self._entries: OrderedDict[str, object] = OrderedDict()
+        # the overlapped pipeline's selection thread shares this cache
+        # with main-thread selection calls; LRU reordering and the
+        # hit/miss counters are not atomic, so mutations take the lock
+        self._lock = threading.Lock()
 
     def __len__(self) -> int:
         return len(self._entries)
@@ -112,13 +117,16 @@ class ProxyCache:
         """
         if key is None:
             return None
-        entry = self._entries.get(key)
+        with self._lock:
+            entry = self._entries.get(key)
+            if entry is None:
+                self.misses += 1
+            else:
+                self._entries.move_to_end(key)
+                self.hits += 1
         if entry is None:
-            self.misses += 1
             metrics().counter("proxy_cache.misses").inc()
             return None
-        self._entries.move_to_end(key)
-        self.hits += 1
         metrics().counter("proxy_cache.hits").inc()
         return entry
 
@@ -137,12 +145,14 @@ class ProxyCache:
     def put(self, key: str | None, proxy) -> None:
         if key is None:
             return
-        self._entries[key] = proxy
-        self._entries.move_to_end(key)
-        while len(self._entries) > self.max_entries:
-            self._entries.popitem(last=False)
+        with self._lock:
+            self._entries[key] = proxy
+            self._entries.move_to_end(key)
+            while len(self._entries) > self.max_entries:
+                self._entries.popitem(last=False)
 
     def clear(self) -> None:
-        self._entries.clear()
-        self.hits = 0
-        self.misses = 0
+        with self._lock:
+            self._entries.clear()
+            self.hits = 0
+            self.misses = 0

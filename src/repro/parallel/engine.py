@@ -23,6 +23,7 @@ fails to start all degrade to the in-process serial loop (same results,
 from __future__ import annotations
 
 import os
+import threading
 import time
 
 import numpy as np
@@ -117,6 +118,7 @@ def _worker_store(handle: StoreHandle) -> SharedFeatureStore:
             old.close()
         _WORKER_STORES.clear()
         store = SharedFeatureStore.attach(handle)
+        # lint: allow-shared-state(per-process attach registry: each fork pool worker mutates its own copy-on-write copy; the parent process never runs _worker_store while a pool is live)
         _WORKER_STORES[handle.name] = store
     return store
 
@@ -167,6 +169,10 @@ class SelectionExecutor:
         self.fallback_reason: str | None = None
         self.last_qscore_stats: dict | None = None
         self._pool = None
+        # the overlapped pipeline drives run_units from its selection
+        # thread while the trainer may probe the same executor from the
+        # main thread; pool init and stats writes go through this lock
+        self._lock = threading.Lock()
         if self.workers > 1 and not shared_memory_available():
             self.fallback_reason = "POSIX shared memory unavailable"
 
@@ -175,21 +181,22 @@ class SelectionExecutor:
         return self.workers > 1 and self.fallback_reason is None
 
     def _ensure_pool(self):
-        if self._pool is not None:
-            return self._pool
-        import multiprocessing as mp
+        with self._lock:
+            if self._pool is not None:
+                return self._pool
+            import multiprocessing as mp
 
-        try:
-            method = self.start_method
-            if method is None:
-                method = "fork" if "fork" in mp.get_all_start_methods() else None
-            ctx = mp.get_context(method)
-            self._pool = ctx.Pool(processes=self.workers)
-        # lint: allow-broad-except(pool start fails for platform-specific reasons; the serial fallback is the designed response and the error is recorded in fallback_reason)
-        except Exception as exc:  # pragma: no cover - platform dependent
-            self.fallback_reason = f"process pool unavailable: {exc}"
-            self._pool = None
-        return self._pool
+            try:
+                method = self.start_method
+                if method is None:
+                    method = "fork" if "fork" in mp.get_all_start_methods() else None
+                ctx = mp.get_context(method)
+                self._pool = ctx.Pool(processes=self.workers)
+            # lint: allow-broad-except(pool start fails for platform-specific reasons; the serial fallback is the designed response and the error is recorded in fallback_reason)
+            except Exception as exc:  # pragma: no cover - platform dependent
+                self.fallback_reason = f"process pool unavailable: {exc}"
+                self._pool = None
+            return self._pool
 
     def run_units(
         self,
@@ -256,7 +263,8 @@ class SelectionExecutor:
         identical bookkeeping on the serial and parallel paths.
         """
         if spec.get("scoring") != "int8":
-            self.last_qscore_stats = None
+            with self._lock:
+                self.last_qscore_stats = None
             return results
         hits = sum(1 for r in results if r[3]["cache_hit"])
         misses = len(results) - hits
@@ -266,13 +274,14 @@ class SelectionExecutor:
         obs.metrics().counter("qscore.block_misses").inc(misses)
         obs.metrics().counter("qscore.select_hits").inc(select_hits)
         obs.metrics().counter("qscore.macs").inc(macs)
-        self.last_qscore_stats = {
-            "block_hits": hits,
-            "block_misses": misses,
-            "select_hits": select_hits,
-            "blocks": len(results),
-            "macs": macs,
-        }
+        with self._lock:
+            self.last_qscore_stats = {
+                "block_hits": hits,
+                "block_misses": misses,
+                "select_hits": select_hits,
+                "blocks": len(results),
+                "macs": macs,
+            }
         return results
 
     @staticmethod

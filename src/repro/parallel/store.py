@@ -160,8 +160,9 @@ class SharedFeatureStore:
 
     def close(self) -> None:
         """Drop this process's mapping (views become invalid)."""
+        # lint: allow-shared-state(per-process teardown: each process closes only the store it created or attached; no instance is shared across threads at close time)
         self.vectors = None
-        self.labels = None
+        self.labels = None  # lint: allow-shared-state(per-process teardown, same ownership argument as the line above)
         try:
             self._shm.close()
         # lint: allow-broad-except(best-effort unmap during teardown: a BufferError from a stale view must not mask the round's real result)

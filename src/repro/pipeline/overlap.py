@@ -87,11 +87,12 @@ class AsyncSelectionRound:
             # mute this thread and let join() forward one summary span.
             with obs.suppress():
                 try:
+                    # lint: allow-shared-state(single-owner handoff: the trainer reads _result only after Thread.join inside join, which is the happens-before edge)
                     self._result = self.selector.select(
                         dataset, fraction, model, candidates=candidates
                     )
                 except BaseException as exc:  # lint: allow-broad-except(worker thread cannot raise to the trainer; stored and re-raised at the join point)
-                    self._error = exc
+                    self._error = exc  # lint: allow-shared-state(single-owner handoff: join reads _error only after Thread.join returns)
 
         self._thread = threading.Thread(
             target=_run, name="async-selection", daemon=True

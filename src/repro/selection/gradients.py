@@ -19,11 +19,15 @@ this forward pass on the FPGA with the quantized feedback model.
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import TYPE_CHECKING
 
 import numpy as np
 
 from repro import obs
 from repro.nn.loss import CrossEntropyLoss
+
+if TYPE_CHECKING:  # pragma: no cover - annotation only, avoids an import cycle
+    from repro.parallel.cache import ProxyCache
 
 __all__ = ["GradientProxy", "compute_gradient_proxies"]
 
@@ -61,7 +65,7 @@ def compute_gradient_proxies(
     ids: np.ndarray | None = None,
     batch_size: int = 256,
     mode: str = "logits",
-    cache=None,
+    cache: ProxyCache | None = None,
     scoring: str = "fp32",
 ) -> GradientProxy:
     """Run the selection model forward and derive per-sample proxies.

@@ -1,0 +1,116 @@
+"""Incremental lint cache: hits, invalidation, corruption tolerance."""
+
+import json
+import textwrap
+
+from repro.analysis import lint_paths
+from repro.analysis.cache import LintCache, engine_signature
+
+BAD_EXCEPT = "try:\n    work()\nexcept Exception:\n    pass\n"
+
+
+def scan(tmp_path, cache):
+    stats: dict = {}
+    findings, _ = lint_paths(
+        [str(tmp_path / "tree")], cache_path=str(cache), stats=stats
+    )
+    return findings, stats
+
+
+class TestCacheHits:
+    def test_second_scan_is_all_hits_with_identical_findings(self, tmp_path):
+        tree = tmp_path / "tree"
+        tree.mkdir()
+        (tree / "bad.py").write_text(BAD_EXCEPT)
+        (tree / "ok.py").write_text("x = 1\n")
+        cache = tmp_path / "cache.json"
+
+        cold, cold_stats = scan(tmp_path, cache)
+        warm, warm_stats = scan(tmp_path, cache)
+
+        assert cold_stats == {"files": 2, "cached": 0, "parsed": 2}
+        assert warm_stats == {"files": 2, "cached": 2, "parsed": 0}
+        assert [f.to_dict() for f in warm] == [f.to_dict() for f in cold]
+
+    def test_cached_scan_still_runs_project_rules(self, tmp_path):
+        # project findings are recomputed from cached per-file indexes
+        tree = tmp_path / "tree"
+        tree.mkdir()
+        (tree / "mod.py").write_text(
+            textwrap.dedent(
+                """
+                import threading
+
+                class Round:
+                    def __init__(self):
+                        self.count = 0
+
+                    def _run(self):
+                        self.count += 1
+
+                    def reset(self):
+                        self.count = 0
+
+                    def launch(self):
+                        threading.Thread(target=self._run).start()
+                """
+            )
+        )
+        cache = tmp_path / "cache.json"
+        cold, _ = scan(tmp_path, cache)
+        warm, stats = scan(tmp_path, cache)
+        assert stats["cached"] == 1
+        assert [f.rule for f in warm] == [f.rule for f in cold] == ["NES009"]
+
+
+class TestInvalidation:
+    def test_content_change_reparses_only_that_file(self, tmp_path):
+        tree = tmp_path / "tree"
+        tree.mkdir()
+        (tree / "a.py").write_text("x = 1\n")
+        (tree / "b.py").write_text("y = 1\n")
+        cache = tmp_path / "cache.json"
+        scan(tmp_path, cache)
+
+        (tree / "a.py").write_text(BAD_EXCEPT)
+        findings, stats = scan(tmp_path, cache)
+        assert stats == {"files": 2, "cached": 1, "parsed": 2 - 1}
+        assert [f.rule for f in findings] == ["NES003"]
+
+    def test_engine_signature_mismatch_discards_cache(self, tmp_path):
+        tree = tmp_path / "tree"
+        tree.mkdir()
+        (tree / "a.py").write_text("x = 1\n")
+        cache = tmp_path / "cache.json"
+        scan(tmp_path, cache)
+
+        doc = json.loads(cache.read_text())
+        assert doc["signature"] == engine_signature()
+        doc["signature"] = "stale-engine"
+        cache.write_text(json.dumps(doc))
+
+        _, stats = scan(tmp_path, cache)
+        assert stats["parsed"] == 1  # treated as cold
+
+    def test_corrupt_cache_file_degrades_to_cold_scan(self, tmp_path):
+        tree = tmp_path / "tree"
+        tree.mkdir()
+        (tree / "bad.py").write_text(BAD_EXCEPT)
+        cache = tmp_path / "cache.json"
+        cache.write_text("{not json")
+        findings, stats = scan(tmp_path, cache)
+        assert stats["parsed"] == 1
+        assert [f.rule for f in findings] == ["NES003"]
+
+    def test_removed_files_age_out_of_the_cache(self, tmp_path):
+        tree = tmp_path / "tree"
+        tree.mkdir()
+        (tree / "a.py").write_text("x = 1\n")
+        (tree / "b.py").write_text("y = 1\n")
+        cache = tmp_path / "cache.json"
+        scan(tmp_path, cache)
+
+        (tree / "b.py").unlink()
+        scan(tmp_path, cache)
+        entries = LintCache.load(str(cache)).entries
+        assert not any("b.py" in key for key in entries)

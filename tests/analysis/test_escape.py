@@ -1,0 +1,164 @@
+"""NES010: interprocedural float64 escape into hot selection paths."""
+
+import textwrap
+
+from repro.analysis import lint_paths
+
+
+def run(tmp_path, files):
+    for name, source in files.items():
+        target = tmp_path / name
+        target.parent.mkdir(parents=True, exist_ok=True)
+        target.write_text(textwrap.dedent(source))
+    findings, suppressed = lint_paths([str(tmp_path)], select={"NES010"})
+    return (
+        [f for f in findings if f.rule == "NES010"],
+        [f for f in suppressed if f.rule == "NES010"],
+    )
+
+
+HOT_CALL = """
+import numpy as np
+
+def make_proxies():
+    return np.zeros(4).astype(np.float64)
+
+def craig_select_class(vectors):
+    return vectors
+
+def select_round():
+    vectors = make_proxies()
+    return craig_select_class(vectors)
+"""
+
+
+class TestPositives:
+    def test_f64_into_hot_function_flagged(self, tmp_path):
+        findings, _ = run(tmp_path, {"mod.py": HOT_CALL})
+        (finding,) = findings
+        assert "craig_select_class" in finding.message
+        # the witness names the producing function
+        assert "make_proxies" in finding.message
+
+    def test_cross_module_producer_flagged(self, tmp_path):
+        findings, _ = run(
+            tmp_path,
+            {
+                "repro/gradients.py": """
+                import numpy as np
+
+                def make_proxies():
+                    return np.float64(1.0)
+                """,
+                "repro/qscore.py": """
+                def quantize(vectors):
+                    return vectors
+                """,
+                "repro/driver.py": """
+                from repro.gradients import make_proxies
+                from repro.qscore import quantize
+
+                def go():
+                    return quantize(make_proxies())
+                """,
+            },
+        )
+        assert len(findings) == 1
+        assert "quantize" in findings[0].message
+
+
+class TestNegatives:
+    def test_float32_not_flagged(self, tmp_path):
+        findings, _ = run(
+            tmp_path,
+            {
+                "mod.py": """
+                import numpy as np
+
+                def make_proxies():
+                    return np.zeros(4).astype(np.float32)
+
+                def craig_select_class(vectors):
+                    return vectors
+
+                def select_round():
+                    return craig_select_class(make_proxies())
+                """,
+            },
+        )
+        assert findings == []
+
+    def test_downcast_before_hot_call_not_flagged(self, tmp_path):
+        findings, _ = run(
+            tmp_path,
+            {
+                "mod.py": """
+                import numpy as np
+
+                def make_proxies():
+                    return np.zeros(4).astype(np.float64)
+
+                def craig_select_class(vectors):
+                    return vectors
+
+                def select_round():
+                    vectors = make_proxies().astype(np.float32)
+                    return craig_select_class(vectors)
+                """,
+            },
+        )
+        assert findings == []
+
+    def test_cold_callee_not_flagged(self, tmp_path):
+        findings, _ = run(
+            tmp_path,
+            {
+                "mod.py": """
+                import numpy as np
+
+                def make_proxies():
+                    return np.zeros(4).astype(np.float64)
+
+                def plain_consumer(vectors):
+                    return vectors
+
+                def select_round():
+                    return plain_consumer(make_proxies())
+                """,
+            },
+        )
+        assert findings == []
+
+    def test_qscore_internal_calls_exempt(self, tmp_path):
+        # inside the quantizer module float64 intermediates are NES008's
+        # domain, not an escape
+        findings, _ = run(
+            tmp_path,
+            {
+                "repro/qscore.py": """
+                import numpy as np
+
+                def _scales():
+                    return np.zeros(4).astype(np.float64)
+
+                def quantize(vectors):
+                    return _bucket(_scales())
+
+                def _bucket(scales):
+                    return scales
+                """,
+            },
+        )
+        assert findings == []
+
+
+class TestSuppression:
+    def test_pragma_with_reason_suppresses(self, tmp_path):
+        source = HOT_CALL.replace(
+            "    return craig_select_class(vectors)",
+            "    # lint: allow-f64-escape(reference fp64 arm)\n"
+            "    return craig_select_class(vectors)",
+        )
+        findings, suppressed = run(tmp_path, {"mod.py": source})
+        assert findings == []
+        assert len(suppressed) == 1

@@ -1,0 +1,181 @@
+"""NES009: cross-thread shared-state writes without lock discipline."""
+
+import textwrap
+
+from repro.analysis import lint_paths
+
+
+def run(tmp_path, source, name="mod.py"):
+    target = tmp_path / name
+    target.write_text(textwrap.dedent(source))
+    findings, suppressed = lint_paths([str(tmp_path)], select={"NES009"})
+    return (
+        [f for f in findings if f.rule == "NES009"],
+        [f for f in suppressed if f.rule == "NES009"],
+    )
+
+
+THREADED_RACE = """
+import threading
+
+class Round:
+    def __init__(self):
+        self.count = 0
+
+    def _run(self):
+        self.count += 1
+
+    def reset(self):
+        self.count = 0
+
+    def launch(self):
+        threading.Thread(target=self._run).start()
+"""
+
+
+class TestPositives:
+    def test_thread_worker_write_flagged(self, tmp_path):
+        findings, _ = run(tmp_path, THREADED_RACE)
+        (finding,) = findings
+        assert "count" in finding.message
+        assert "_run" in finding.message
+        # provenance names the spawning function
+        assert "launch" in finding.message
+
+    def test_pool_submission_worker_write_flagged(self, tmp_path):
+        findings, _ = run(
+            tmp_path,
+            """
+            STATE = {}
+
+            def work(row):
+                STATE["last"] = row
+
+            def reset():
+                STATE["last"] = None
+
+            def fan_out(pool, rows):
+                return pool.map(work, rows)
+            """,
+        )
+        assert any("work" in f.message for f in findings)
+
+    def test_flagged_site_is_the_worker_side_write(self, tmp_path):
+        findings, _ = run(tmp_path, THREADED_RACE)
+        (finding,) = findings
+        # line 9 is `self.count += 1` inside _run
+        assert finding.line == 9
+
+
+class TestNegatives:
+    def test_lock_guarded_write_not_flagged(self, tmp_path):
+        findings, _ = run(
+            tmp_path,
+            """
+            import threading
+
+            class Round:
+                def __init__(self):
+                    self.count = 0
+                    self._lock = threading.Lock()
+
+                def _run(self):
+                    with self._lock:
+                        self.count += 1
+
+                def reset(self):
+                    self.count = 0
+
+                def launch(self):
+                    threading.Thread(target=self._run).start()
+            """,
+        )
+        assert findings == []
+
+    def test_worker_only_attribute_not_flagged(self, tmp_path):
+        # no main-side write (outside the constructor evidence there is
+        # no competing writer): worker-private state is fine
+        findings, _ = run(
+            tmp_path,
+            """
+            import threading
+
+            class Round:
+                def _run(self):
+                    self.scratch = 1
+
+                def launch(self):
+                    threading.Thread(target=self._run).start()
+            """,
+        )
+        assert findings == []
+
+    def test_constructor_write_never_flagged(self, tmp_path):
+        findings, _ = run(tmp_path, THREADED_RACE)
+        assert all(f.line != 6 for f in findings)
+
+    def test_no_spawn_no_findings(self, tmp_path):
+        findings, _ = run(
+            tmp_path,
+            """
+            class Plain:
+                def __init__(self):
+                    self.count = 0
+
+                def bump(self):
+                    self.count += 1
+
+                def reset(self):
+                    self.count = 0
+            """,
+        )
+        assert findings == []
+
+
+class TestSuppression:
+    def test_pragma_with_reason_suppresses(self, tmp_path):
+        findings, suppressed = run(
+            tmp_path,
+            """
+            import threading
+
+            class Round:
+                def __init__(self):
+                    self.count = 0
+
+                def _run(self):
+                    # lint: allow-shared-state(joined before any main read)
+                    self.count += 1
+
+                def reset(self):
+                    self.count = 0
+
+                def launch(self):
+                    threading.Thread(target=self._run).start()
+            """,
+        )
+        assert findings == []
+        assert len(suppressed) == 1
+
+    def test_pragma_without_reason_does_not_suppress(self, tmp_path):
+        findings, suppressed = run(
+            tmp_path,
+            """
+            import threading
+
+            class Round:
+                def __init__(self):
+                    self.count = 0
+
+                def _run(self):
+                    self.count += 1  # lint: allow-shared-state()
+
+                def reset(self):
+                    self.count = 0
+
+                def launch(self):
+                    threading.Thread(target=self._run).start()
+            """,
+        )
+        assert len(findings) == 1
+        assert suppressed == []

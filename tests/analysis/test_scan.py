@@ -1,0 +1,154 @@
+"""Scan orchestration: --jobs determinism, --changed-only scoping, cache speed."""
+
+import subprocess
+import textwrap
+import time
+from pathlib import Path
+
+from repro.analysis import lint_paths
+
+ROOT = Path(__file__).resolve().parents[2]
+
+BAD_EXCEPT = "try:\n    work()\nexcept Exception:\n    pass\n"
+
+THREADED_RACE = """
+import threading
+
+class Round:
+    def __init__(self):
+        self.count = 0
+
+    def _run(self):
+        self.count += 1
+
+    def reset(self):
+        self.count = 0
+
+    def launch(self):
+        threading.Thread(target=self._run).start()
+"""
+
+
+def git(cwd, *argv):
+    subprocess.run(
+        ["git", "-c", "user.email=t@t", "-c", "user.name=t", *argv],
+        cwd=cwd, check=True, capture_output=True,
+    )
+
+
+class TestJobs:
+    def test_parallel_scan_matches_serial_byte_for_byte(self, tmp_path):
+        for i in range(8):
+            (tmp_path / f"bad_{i}.py").write_text(BAD_EXCEPT)
+        (tmp_path / "race.py").write_text(textwrap.dedent(THREADED_RACE))
+        serial, serial_supp = lint_paths([str(tmp_path)], jobs=1)
+        fanned, fanned_supp = lint_paths([str(tmp_path)], jobs=4)
+        assert [f.to_dict() for f in fanned] == [f.to_dict() for f in serial]
+        assert [f.to_dict() for f in fanned_supp] == [
+            f.to_dict() for f in serial_supp
+        ]
+        # the race is found either way: project rules see the whole index
+        assert any(f.rule == "NES009" for f in fanned)
+
+    def test_jobs_compose_with_cache(self, tmp_path):
+        tree = tmp_path / "tree"
+        tree.mkdir()
+        for i in range(4):
+            (tree / f"bad_{i}.py").write_text(BAD_EXCEPT)
+        cache = tmp_path / "cache.json"
+        cold, _ = lint_paths([str(tree)], jobs=4, cache_path=str(cache))
+        stats: dict = {}
+        warm, _ = lint_paths(
+            [str(tree)], jobs=4, cache_path=str(cache), stats=stats
+        )
+        assert stats["cached"] == 4
+        assert [f.to_dict() for f in warm] == [f.to_dict() for f in cold]
+
+
+class TestChangedOnly:
+    def test_reports_only_git_touched_files(self, tmp_path):
+        git(tmp_path, "init", "-q")
+        (tmp_path / "committed.py").write_text(BAD_EXCEPT)
+        git(tmp_path, "add", ".")
+        git(tmp_path, "commit", "-qm", "seed")
+        (tmp_path / "fresh.py").write_text(BAD_EXCEPT)
+
+        full, _ = lint_paths([str(tmp_path)])
+        scoped, _ = lint_paths([str(tmp_path)], changed_only=True)
+        assert {f.path for f in full} == {"committed.py", "fresh.py"}
+        assert {f.path for f in scoped} == {"fresh.py"}
+
+    def test_modified_tracked_file_counts_as_changed(self, tmp_path):
+        git(tmp_path, "init", "-q")
+        (tmp_path / "mod.py").write_text("x = 1\n")
+        git(tmp_path, "add", ".")
+        git(tmp_path, "commit", "-qm", "seed")
+        (tmp_path / "mod.py").write_text(BAD_EXCEPT)
+
+        scoped, _ = lint_paths([str(tmp_path)], changed_only=True)
+        assert {f.path for f in scoped} == {"mod.py"}
+
+    def test_outside_git_degrades_to_full_scan(self, tmp_path):
+        (tmp_path / "bad.py").write_text(BAD_EXCEPT)
+        scoped, _ = lint_paths([str(tmp_path)], changed_only=True)
+        assert len(scoped) == 1
+
+    def test_changed_only_keeps_whole_program_analysis(self, tmp_path):
+        # the race needs BOTH files to be visible to the index even
+        # though only one is reported
+        git(tmp_path, "init", "-q")
+        (tmp_path / "spawner.py").write_text(
+            textwrap.dedent(
+                """
+                import threading
+                from state import Holder
+
+                def launch(h: Holder):
+                    threading.Thread(target=h.run).start()
+                """
+            )
+        )
+        git(tmp_path, "add", ".")
+        git(tmp_path, "commit", "-qm", "seed")
+        (tmp_path / "state.py").write_text(
+            textwrap.dedent(
+                """
+                class Holder:
+                    def __init__(self):
+                        self.count = 0
+
+                    def run(self):
+                        self.count += 1
+
+                    def reset(self):
+                        self.count = 0
+                """
+            )
+        )
+        scoped, _ = lint_paths([str(tmp_path)], changed_only=True)
+        assert any(f.rule == "NES009" and f.path == "state.py" for f in scoped)
+
+
+class TestWarmCacheSpeed:
+    def test_warm_parallel_scan_beats_cold_serial(self, tmp_path):
+        """Acceptance smoke check: warm --jobs 4 >= 2x faster than cold serial.
+
+        Measured on the repo's real source tree; generous margin, but
+        a cache hit skips the parse + rule pass entirely so the warm
+        scan should win by far more than 2x.
+        """
+        cache = tmp_path / "cache.json"
+        src = str(ROOT / "src")
+
+        t0 = time.perf_counter()
+        cold, _ = lint_paths([src], jobs=1, cache_path=str(cache))
+        cold_s = time.perf_counter() - t0
+
+        t0 = time.perf_counter()
+        warm, _ = lint_paths([src], jobs=4, cache_path=str(cache))
+        warm_s = time.perf_counter() - t0
+
+        assert [f.to_dict() for f in warm] == [f.to_dict() for f in cold]
+        assert warm_s < cold_s / 2, (
+            f"warm+parallel scan took {warm_s:.3f}s vs cold serial {cold_s:.3f}s"
+        )

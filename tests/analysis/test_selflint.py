@@ -49,6 +49,48 @@ VIOLATIONS = {
             """
         ),
     ),
+    # project rules: NES009 needs a thread-spawn edge, NES010 a float64
+    # producer flowing into a hot selection function
+    "NES009": (
+        "repro/anywhere/bad.py",
+        textwrap.dedent(
+            """
+            import threading
+
+            class Worker:
+                def __init__(self):
+                    self.count = 0
+
+                def run(self):
+                    self.count += 1
+
+                def reset(self):
+                    self.count = 0
+
+                def start(self):
+                    t = threading.Thread(target=self.run)
+                    t.start()
+            """
+        ),
+    ),
+    "NES010": (
+        "repro/anywhere/bad.py",
+        textwrap.dedent(
+            """
+            import numpy as np
+
+            def make_proxies():
+                return np.zeros(4).astype(np.float64)
+
+            def craig_select_class(vectors):
+                return vectors
+
+            def select_round():
+                vectors = make_proxies()
+                return craig_select_class(vectors)
+            """
+        ),
+    ),
 }
 
 
@@ -78,7 +120,10 @@ class TestSelfLint:
     def test_list_rules_prints_table(self, capsys):
         assert main(["lint", "--list-rules"]) == 0
         out = capsys.readouterr().out
-        for rule in ("NES001", "NES002", "NES003", "NES004", "NES005", "NES006"):
+        for rule in (
+            "NES001", "NES002", "NES003", "NES004", "NES005", "NES006",
+            "NES009", "NES010",
+        ):
             assert rule in out
 
     def test_missing_path_exits_2(self, capsys):
