@@ -40,7 +40,12 @@ def content_hash(data: bytes) -> str:
 
 
 def engine_signature() -> str:
-    """Hash of every ``repro.analysis`` source file (rules included)."""
+    """Hash of every ``repro.analysis`` source file (rules included).
+
+    NES011's metric table lives in ``repro.obs.export``, outside this
+    package, so that file is folded in too — editing the table
+    invalidates cached verdicts exactly like editing a rule.
+    """
     global _signature_memo
     if _signature_memo is None:
         pkg_dir = os.path.dirname(os.path.abspath(__file__))
@@ -54,6 +59,15 @@ def engine_signature() -> str:
                 h.update(os.path.relpath(full, pkg_dir).encode())
                 with open(full, "rb") as f:
                     h.update(f.read())
+        export_py = os.path.join(
+            os.path.dirname(pkg_dir), "obs", "export.py"
+        )
+        try:
+            with open(export_py, "rb") as f:
+                h.update(b"obs/export.py")
+                h.update(f.read())
+        except OSError:
+            pass
         _signature_memo = h.hexdigest()
     return _signature_memo
 

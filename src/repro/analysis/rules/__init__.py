@@ -12,6 +12,7 @@
 | NES008 | allow-upcast           | no float64 creation/upcast inside selection/qscore |
 | NES009 | allow-shared-state     | no unlocked cross-thread attribute writes (project) |
 | NES010 | allow-f64-escape       | no float64 flow into qscore/craig hot paths (project) |
+| NES011 | allow-dynamic-metric   | metric names are declared dotted literals (METRIC_TABLE) |
 
 (NES000 is the engine's parse-failure pseudo-rule; it has no pragma and
 cannot be baselined.  NES009/NES010 are whole-program rules driven by
@@ -22,6 +23,7 @@ from repro.analysis.rules import (  # noqa: F401 - imports register checkers
     determinism,
     escape,
     exceptions,
+    metricnames,
     pool,
     precision,
     races,

@@ -1,0 +1,94 @@
+"""NES011 — metric names are declared dotted-namespace string literals.
+
+The Prometheus exporter derives its ``# HELP`` / ``# TYPE`` lines from
+:data:`repro.obs.export.METRIC_TABLE`, the diff engine's metric
+carve-outs are audited against it, and the report's derived pipeline
+lines key on exact names — all of which breaks silently if a call site
+invents a name at runtime (``f"qscore.{mode}_hits"``) or records one
+the table never declared.  This check requires the first argument of
+every ``*.counter(...)`` / ``*.gauge(...)`` / ``*.timer(...)`` call to
+be a dotted-namespace string *literal* present in the table, so the
+exported series set is knowable without running the code.
+
+Dynamic names that are genuinely needed (a test fixture sweeping
+synthetic series, say) take the escape hatch::
+
+    reg.counter(name)  # lint: allow-dynamic-metric(fixture sweeps synthetic series)
+
+The table itself lives outside :mod:`repro.analysis`, so the lint
+cache's engine signature hashes ``repro/obs/export.py`` too — editing
+the table invalidates cached verdicts exactly like editing a rule.
+"""
+
+from __future__ import annotations
+
+import ast
+
+from repro.analysis.registry import Checker, register
+
+_METRIC_METHODS = ("counter", "gauge", "timer")
+
+
+def _metric_table() -> dict:
+    # Imported lazily: the analysis package must stay importable (and
+    # its per-file workers cheap) without pulling the obs subsystem in
+    # until a file actually records metrics.
+    from repro.obs.export import METRIC_TABLE
+
+    return METRIC_TABLE
+
+
+@register
+class MetricNameChecker(Checker):
+    rule = "NES011"
+    pragma = "dynamic-metric"
+    description = (
+        "metric names are dotted string literals declared in "
+        "repro.obs.export.METRIC_TABLE"
+    )
+
+    def check(self, ctx):
+        table = None
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            func = node.func
+            if not isinstance(func, ast.Attribute) or func.attr not in _METRIC_METHODS:
+                continue
+            if not node.args:
+                continue
+            arg = node.args[0]
+            if not (isinstance(arg, ast.Constant) and isinstance(arg.value, str)):
+                yield self.finding(
+                    ctx,
+                    node,
+                    f".{func.attr}(...) metric name is not a string literal: "
+                    "runtime-built names never reach METRIC_TABLE, so the "
+                    "exporter emits them untyped and the diff carve-outs "
+                    "cannot be audited",
+                    hint="pass a dotted literal declared in "
+                    "repro.obs.export.METRIC_TABLE",
+                )
+                continue
+            name = arg.value
+            if "." not in name:
+                yield self.finding(
+                    ctx,
+                    node,
+                    f"metric name {name!r} is not dotted-namespace "
+                    "(subsystem.metric)",
+                    hint="name it <subsystem>.<metric> and declare it in "
+                    "repro.obs.export.METRIC_TABLE",
+                )
+                continue
+            if table is None:
+                table = _metric_table()
+            if name not in table:
+                yield self.finding(
+                    ctx,
+                    node,
+                    f"metric name {name!r} is not declared in "
+                    "repro.obs.export.METRIC_TABLE",
+                    hint="add a (type, help) entry to METRIC_TABLE so the "
+                    "Prometheus exporter can type it",
+                )

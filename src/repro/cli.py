@@ -9,7 +9,7 @@ Commands
 ``scaling``  the multi-SmartSSD scaling curve (the paper's future work).
 ``bench``    run the hot-path microbenchmarks; ``--check`` compares to the
              committed BENCH_*.json baselines and exits non-zero on regression.
-``lint``     run the repro.analysis static invariant checks (NES001-NES010,
+``lint``     run the repro.analysis static invariant checks (NES001-NES011,
              including the whole-program race and float64-escape rules)
              against the source tree; exits non-zero on findings not covered
              by the committed baseline; ``--check-baseline`` instead verifies
@@ -20,11 +20,21 @@ Commands
              (``--no-cache`` disables).
 ``report``   aggregate a ``--trace`` JSONL run-trace into the paper's
              headline table (time per phase, bytes over the link,
-             selection overhead); ``--chrome`` converts it for Perfetto.
+             selection overhead); ``--chrome`` converts it for Perfetto,
+             ``--flame`` writes a collapsed-stack flamegraph
+             (``--flame-weight wall|bytes|allocs``).
+``obsdiff``  align two JSONL run-traces by deterministic span id and
+             report an ``ok`` / ``regressed`` / ``structural-drift``
+             verdict; ``--fail-on`` picks the exit-nonzero threshold,
+             ``--tolerance`` the relative wall-time slack (``inf`` to
+             ignore timing entirely — the exact byte/counter gate).
 
 ``train``, ``system`` and ``bench`` accept ``--trace PATH``: a
 :mod:`repro.obs` tracer + metrics registry is installed for the run and
 the JSONL trace (spans + final metrics snapshot) is written to PATH.
+``--profile-mem`` (requires ``--trace``) additionally attributes memory
+to spans (schema-2 ``mem_*`` attrs); ``--metrics-out PATH`` writes the
+final metrics snapshot in Prometheus text format.
 """
 
 from __future__ import annotations
@@ -39,24 +49,44 @@ __all__ = ["main"]
 
 
 @contextlib.contextmanager
-def _traced(path: str | None, run: str):
-    """Install tracer + metrics for the body, then write the JSONL trace."""
-    if not path:
+def _traced(path: str | None, run: str, profile_mem: bool = False,
+            metrics_out: str | None = None):
+    """Install tracer + metrics for the body, then write the outputs.
+
+    A tracer is installed only when ``path`` is given; a metrics registry
+    when either ``path`` or ``metrics_out`` is (``--metrics-out`` without
+    ``--trace`` still snapshots the run's counters).
+    """
+    if not path and not metrics_out:
         yield
         return
     from repro import obs
 
-    tracer = obs.Tracer(run=run)
+    tracer = obs.Tracer(run=run, profile_mem=profile_mem) if path else None
     registry = obs.MetricsRegistry()
-    prev_tracer = obs.set_tracer(tracer)
+    prev_tracer = obs.set_tracer(tracer) if tracer else None
     prev_metrics = obs.set_metrics(registry)
     try:
         yield
     finally:
-        obs.set_tracer(prev_tracer)
         obs.set_metrics(prev_metrics)
-        obs.write_jsonl(path, tracer, registry)
-        print(f"trace written to {path}")
+        if tracer is not None:
+            obs.set_tracer(prev_tracer)
+            if tracer.profiler is not None:
+                tracer.profiler.stop()
+            obs.write_jsonl(path, tracer, registry)
+            print(f"trace written to {path}")
+        if metrics_out:
+            obs.write_prometheus(metrics_out, registry.snapshot())
+            print(f"metrics snapshot written to {metrics_out}")
+
+
+def _trace_flags_ok(args) -> bool:
+    if args.profile_mem and not args.trace:
+        print("--profile-mem requires --trace (memory attribution lands "
+              "on trace spans)")
+        return False
+    return True
 
 
 def _cmd_info(args) -> int:
@@ -75,6 +105,9 @@ def _cmd_info(args) -> int:
 def _cmd_train(args) -> int:
     from repro.core.config import NeSSAConfig, TrainRecipe
     from repro.pipeline.experiment import make_data, run_method
+
+    if not _trace_flags_ok(args):
+        return 2
 
     train_set, test_set = make_data(args.dataset, scale=args.scale, seed=args.data_seed)
     base = TrainRecipe().scaled(args.epochs)
@@ -98,7 +131,8 @@ def _cmd_train(args) -> int:
             prefetch_depth=args.prefetch_depth,
             quantized_scoring=args.quantized_scoring,
         )
-    with _traced(args.trace, run=f"train-{args.method}-{args.dataset}"):
+    with _traced(args.trace, run=f"train-{args.method}-{args.dataset}",
+                 profile_mem=args.profile_mem, metrics_out=args.metrics_out):
         result = run_method(
             args.dataset,
             args.method,
@@ -128,13 +162,16 @@ def _cmd_system(args) -> int:
     from repro import obs
     from repro.pipeline.system import SystemModel, average_speedups, data_movement_summary
 
+    if not _trace_flags_ok(args):
+        return 2
     model = SystemModel(
         args.dataset,
         selection_workers=args.workers,
         host_overlap=args.overlap,
         quantized_scoring=args.quantized_scoring,
     )
-    with _traced(args.trace, run=f"system-{args.dataset}"):
+    with _traced(args.trace, run=f"system-{args.dataset}",
+                 profile_mem=args.profile_mem, metrics_out=args.metrics_out):
         pricers = {
             "full": model.full_epoch,
             "craig": model.craig_epoch,
@@ -209,12 +246,15 @@ def _cmd_bench(args) -> int:
     if args.workers is not None and args.workers < 1:
         print("bench: --workers must be >= 1")
         return 2
+    if not _trace_flags_ok(args):
+        return 2
     groups = list(bench.GROUPS) if args.group == "all" else [args.group]
     if not args.check:
         os.makedirs(args.out_dir, exist_ok=True)
     regressed = []
     missing = []
-    with _traced(args.trace, run=f"bench-{args.group}"):
+    with _traced(args.trace, run=f"bench-{args.group}",
+                 profile_mem=args.profile_mem, metrics_out=args.metrics_out):
         for group in groups:
             results = bench.run_group(
                 group,
@@ -382,7 +422,36 @@ def _cmd_report(args) -> int:
                                       run=trace["meta"].get("run", "run"))
         print(f"\nchrome trace written to {path} "
               "(load in chrome://tracing or ui.perfetto.dev)")
+    if args.flame:
+        path = obs.write_folded(args.flame, trace["spans"],
+                                weight=args.flame_weight)
+        print(f"\nfolded stacks ({args.flame_weight}) written to {path} "
+              "(render with flamegraph.pl or speedscope)")
     return 0
+
+
+def _cmd_obsdiff(args) -> int:
+    from repro import obs
+
+    try:
+        diff = obs.diff_trace_files(
+            args.trace_a,
+            args.trace_b,
+            tolerance=args.tolerance,
+            min_dur_s=args.min_dur,
+        )
+    except (OSError, ValueError) as exc:
+        print(f"obsdiff: {exc}")
+        return 2
+    if args.format == "json":
+        import json
+
+        print(json.dumps(diff.to_dict(), indent=2))
+    else:
+        print(diff.render())
+    fail_floor = {"none": len(obs.diff.VERDICTS), "regressed": 1,
+                  "structural-drift": 2}[args.fail_on]
+    return 1 if diff.severity >= fail_floor else 0
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -430,6 +499,12 @@ def build_parser() -> argparse.ArgumentParser:
                             "the fp32 host path")
     train.add_argument("--trace", default=None, metavar="PATH",
                        help="record a repro.obs run-trace (JSONL) to PATH")
+    train.add_argument("--profile-mem", action="store_true",
+                       help="attribute memory to trace spans (tracemalloc + "
+                            "pool/shm credits; requires --trace)")
+    train.add_argument("--metrics-out", default=None, metavar="PATH",
+                       help="write the final metrics snapshot in Prometheus "
+                            "text format to PATH")
 
     system = sub.add_parser("system", help="price the per-epoch strategies")
     system.add_argument("--dataset", choices=sorted(DATASETS), default="cifar10")
@@ -446,6 +521,11 @@ def build_parser() -> argparse.ArgumentParser:
                              "of the fp32 lanes")
     system.add_argument("--trace", default=None, metavar="PATH",
                         help="record a repro.obs run-trace (JSONL) to PATH")
+    system.add_argument("--profile-mem", action="store_true",
+                        help="attribute memory to trace spans (requires --trace)")
+    system.add_argument("--metrics-out", default=None, metavar="PATH",
+                        help="write the final metrics snapshot in Prometheus "
+                             "text format to PATH")
 
     sub.add_parser("kernel", help="synthesize the selection kernel (Table 4)")
 
@@ -475,6 +555,11 @@ def build_parser() -> argparse.ArgumentParser:
                        help="skip parallel benches needing more workers than this")
     bench.add_argument("--trace", default=None, metavar="PATH",
                        help="record a repro.obs run-trace (JSONL) to PATH")
+    bench.add_argument("--profile-mem", action="store_true",
+                       help="attribute memory to trace spans (requires --trace)")
+    bench.add_argument("--metrics-out", default=None, metavar="PATH",
+                       help="write the final metrics snapshot in Prometheus "
+                            "text format to PATH")
 
     report = sub.add_parser("report", help="aggregate a recorded run-trace")
     report.add_argument("trace", metavar="TRACE",
@@ -482,6 +567,33 @@ def build_parser() -> argparse.ArgumentParser:
     report.add_argument("--chrome", default=None, metavar="PATH",
                         help="also write a Chrome trace_event JSON for "
                              "chrome://tracing / Perfetto")
+    report.add_argument("--flame", default=None, metavar="PATH",
+                        help="also write a collapsed-stack flamegraph "
+                             "(flamegraph.pl / speedscope folded format)")
+    report.add_argument("--flame-weight", choices=["wall", "bytes", "allocs"],
+                        default="wall",
+                        help="flame weight: self wall-time (default), "
+                             "data-movement bytes, or --profile-mem net "
+                             "allocations")
+
+    obsdiff = sub.add_parser(
+        "obsdiff", help="diff two recorded run-traces (regression gate)")
+    obsdiff.add_argument("trace_a", metavar="TRACE_A",
+                         help="baseline JSONL trace")
+    obsdiff.add_argument("trace_b", metavar="TRACE_B",
+                         help="candidate JSONL trace")
+    obsdiff.add_argument("--tolerance", type=float, default=0.25,
+                         help="allowed relative wall-time slowdown per span/"
+                              "timer (default 0.25; 'inf' ignores timing)")
+    obsdiff.add_argument("--min-dur", type=float, default=0.005,
+                         help="ignore wall-time deltas when both sides are "
+                              "below this many seconds (default 0.005)")
+    obsdiff.add_argument("--format", choices=["text", "json"], default="text")
+    obsdiff.add_argument("--fail-on",
+                         choices=["none", "regressed", "structural-drift"],
+                         default="regressed",
+                         help="lowest verdict that exits non-zero "
+                              "(default: regressed)")
 
     lint = sub.add_parser("lint", help="run the static invariant checks")
     lint.add_argument("paths", nargs="*", default=["src"],
@@ -528,6 +640,7 @@ def main(argv=None) -> int:
         "bench": _cmd_bench,
         "lint": _cmd_lint,
         "report": _cmd_report,
+        "obsdiff": _cmd_obsdiff,
     }
     return handlers[args.command](args)
 

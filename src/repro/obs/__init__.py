@@ -9,11 +9,21 @@ One import point for the observability subsystem:
 - :mod:`repro.obs.metrics` — process-wide counters / gauges / timers
   behind :func:`metrics`, null-object no-ops until :func:`set_metrics`
   installs a :class:`MetricsRegistry`.
-- :mod:`repro.obs.sinks` — JSONL run-trace files, Chrome
-  ``trace_event`` export (``chrome://tracing`` / Perfetto), text
-  summary.
+- :mod:`repro.obs.sinks` — JSONL run-trace files (schema 2; schema-1
+  traces read through a migration shim), Chrome ``trace_event`` export
+  (``chrome://tracing`` / Perfetto), text summary.
 - :mod:`repro.obs.report` — aggregate a trace into the paper's
   headline table (``repro.cli report``).
+- :mod:`repro.obs.diff` — align two traces by deterministic span id
+  and emit an ``ok`` / ``regressed`` / ``structural-drift`` verdict
+  (``repro.cli obsdiff``), with declared carve-outs for known
+  configuration asymmetries.
+- :mod:`repro.obs.profile` — opt-in per-span memory attribution
+  (tracemalloc + explicit pool/shm credits) and collapsed-stack
+  flamegraph export (``repro.cli report --flame``).
+- :mod:`repro.obs.export` — the declared metric table (NES011's
+  source of truth) and Prometheus text-format snapshot export
+  (``--metrics-out``).
 
 Instrumented call sites only ever pay for what is installed: with no
 tracer and no registry, ``obs.span(...)`` returns a shared no-op
@@ -22,6 +32,18 @@ null instruments — the committed bench cases stay within 2% of their
 uninstrumented timings (``tests/obs/test_overhead.py``).
 """
 
+from repro.obs.diff import (
+    CarveOut,
+    DEFAULT_CARVEOUTS,
+    TraceDiff,
+    diff_trace_files,
+    diff_traces,
+)
+from repro.obs.export import (
+    METRIC_TABLE,
+    render_prometheus,
+    write_prometheus,
+)
 from repro.obs.metrics import (
     Counter,
     Gauge,
@@ -30,6 +52,12 @@ from repro.obs.metrics import (
     Timer,
     metrics,
     set_metrics,
+)
+from repro.obs.profile import (
+    SpanMemoryProfiler,
+    credit_bytes,
+    to_folded_stacks,
+    write_folded,
 )
 from repro.obs.report import aggregate_trace, render_report
 from repro.obs.sinks import (
@@ -52,6 +80,18 @@ from repro.obs.tracer import (
 )
 
 __all__ = [
+    "CarveOut",
+    "DEFAULT_CARVEOUTS",
+    "TraceDiff",
+    "diff_trace_files",
+    "diff_traces",
+    "METRIC_TABLE",
+    "render_prometheus",
+    "write_prometheus",
+    "SpanMemoryProfiler",
+    "credit_bytes",
+    "to_folded_stacks",
+    "write_folded",
     "Counter",
     "Gauge",
     "MetricsRegistry",

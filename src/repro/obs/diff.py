@@ -1,0 +1,479 @@
+"""Cross-run trace diff: align two JSONL run-traces by deterministic span id.
+
+The tracer's ids are tree paths derived from (parent, name) sequence
+counters and work-unit seed keys — never wall clock, thread ids or pids
+— so two traces of the same config align *structurally*: span
+``epoch#3/selection_round#0/unit@1-0-2-1`` in run A is the same logical
+work as the identically-named span in run B.  This module exploits that
+to answer "did this change make round 3 slower, leak scratch memory, or
+move more bytes than the reference?" as a machine-checkable verdict
+instead of bench-file archaeology.
+
+**Alignment and classification.**  Spans pair by id; unpaired spans are
+``added`` (only in B) or ``removed`` (only in A).  Known structural
+asymmetries between *configurations* — the parallel-only ``shm_publish``
+span, the overlap-only ``async_selection`` span, the synchronous
+``selection_round`` subtree that overlap moves onto a muted worker
+thread — are **declared** as :class:`CarveOut` entries rather than
+special-cased inline: an unpaired span whose own name *or any ancestor
+frame on its id path* matches a declared span carve-out is excused (the
+whole subtree moves together).  Carve-outs never excuse a *value*
+mismatch on a span present in both traces.
+
+**Attribute comparison.**  Three classes, by key convention:
+
+- ``mem_*`` (schema-2 profiling attrs) — compared with the relative
+  tolerance, flagged only on *growth* (B above A); absence on either
+  side is excused, which is how a ``--profile-mem`` trace diffs cleanly
+  against a schema-1 or profiling-off trace.
+- ``*_s`` wall times (including ``dur_s``) — compared with the
+  relative tolerance, flagged only on slowdown, and skipped entirely
+  when both sides sit under ``min_dur_s`` (sub-millisecond spans jitter
+  multiples without meaning anything).
+- everything else — bytes, MACs, counters, labels — compared
+  **exactly**; any delta (or one-sided presence) is a regression,
+  unless the key is a declared ``attr`` carve-out (``workers``,
+  ``parallel`` — configuration labels, not measurements).
+
+**Metrics reconciliation.**  The final snapshot line diffs the same
+way: counters exactly, gauges and timer totals with tolerance (timer
+*counts* exactly — the number of observations is structural).  Metric
+names present on one side only are structural drift unless a declared
+metric carve-out (prefix match: ``overlap.``, ``prefetch.``, ``shm.``,
+``qscore.``) covers the configuration asymmetry.
+
+**Verdict.**  ``structural-drift`` (un-excused shape difference) >
+``regressed`` (any value delta) > ``ok``.  ``repro.cli obsdiff A B
+--fail-on <verdict>`` exits non-zero at or above the named severity —
+CI diffs a serial trace against an overlapped one with ``--fail-on
+structural-drift`` (value deltas are expected across configs) and a
+fresh trace against the committed reference with ``--tolerance inf``
+(wall times float, bytes and counters must match exactly).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+
+from repro.obs.profile import span_frames
+from repro.obs.sinks import read_trace
+
+__all__ = [
+    "CarveOut",
+    "DEFAULT_CARVEOUTS",
+    "TraceDiff",
+    "diff_traces",
+    "diff_trace_files",
+    "VERDICTS",
+]
+
+# Severity order: index == exit-gate severity.
+VERDICTS = ("ok", "regressed", "structural-drift")
+
+
+@dataclass(frozen=True)
+class CarveOut:
+    """One declared, expected structural asymmetry between configurations.
+
+    ``scope`` is one of:
+
+    - ``"span"`` — ``match`` is a span *name*; covers unpaired spans
+      carrying that frame anywhere on their id path, i.e. the span and
+      its whole subtree;
+    - ``"metric"`` — ``match`` is a metric-name *prefix* covering
+      one-sided presence in the snapshot (never a value mismatch);
+    - ``"attr"`` — ``match`` is an exact span-attribute key that
+      records *configuration* rather than measurement (``workers``,
+      ``parallel``): its exact-compare mismatches are excused, since
+      cross-configuration diffs are the tool's whole point.
+    """
+
+    scope: str
+    match: str
+    reason: str
+
+
+DEFAULT_CARVEOUTS = (
+    CarveOut(
+        "span",
+        "shm_publish",
+        "parallel engine only: a --workers N > 1 run publishes proxy "
+        "state to POSIX shared memory before fanning units out",
+    ),
+    CarveOut(
+        "span",
+        "async_selection",
+        "overlap only: the summary span forwarded at the join point of "
+        "a selection round that ran on the worker thread",
+    ),
+    CarveOut(
+        "span",
+        "selection_round",
+        "overlap (stale) runs rounds on a muted worker thread, so the "
+        "synchronous selection_round subtree exists only on the "
+        "non-overlapped side (the epoch-0 round, which both run "
+        "synchronously, still pairs and compares)",
+    ),
+    CarveOut(
+        "metric",
+        "overlap.",
+        "overlap only: launch/join accounting of the async round",
+    ),
+    CarveOut(
+        "metric",
+        "prefetch.",
+        "prefetching loader only (--prefetch-depth > 0)",
+    ),
+    CarveOut(
+        "metric",
+        "shm.",
+        "parallel engine only: shared-memory publish accounting",
+    ),
+    CarveOut(
+        "metric",
+        "qscore.",
+        "int8 quantized scoring only (--quantized-scoring int8)",
+    ),
+    CarveOut(
+        "attr",
+        "workers",
+        "configuration label on chunk_select: the --workers the run "
+        "was asked for, not a measurement",
+    ),
+    CarveOut(
+        "attr",
+        "parallel",
+        "configuration label on chunk_select: whether the executor "
+        "fanned out, implied by --workers",
+    ),
+    CarveOut(
+        "metric",
+        "proxy_cache.hits",
+        "counters appear in the snapshot only once incremented: a "
+        "serial all-miss run never records a hit, while overlap's "
+        "stale scoring reuses cached proxies (miss *counts* still "
+        "value-compare whenever both sides record them)",
+    ),
+)
+
+_EMPTY_SNAPSHOT = {"counters": {}, "gauges": {}, "timers": {}}
+
+
+def _span_carveout(span_id: str, carveouts) -> CarveOut | None:
+    frames = set(span_frames(span_id))
+    for carve in carveouts:
+        if carve.scope == "span" and carve.match in frames:
+            return carve
+    return None
+
+
+def _metric_carveout(name: str, carveouts) -> CarveOut | None:
+    for carve in carveouts:
+        if carve.scope == "metric" and name.startswith(carve.match):
+            return carve
+    return None
+
+
+def _attr_carveout(key: str, carveouts) -> CarveOut | None:
+    for carve in carveouts:
+        if carve.scope == "attr" and carve.match == key:
+            return carve
+    return None
+
+
+def _exceeds(a: float, b: float, tolerance: float) -> bool:
+    """Is ``b`` above ``a`` by more than the relative tolerance?"""
+    if math.isinf(tolerance):
+        return False
+    if a <= 0:
+        return b > 0
+    return b > a * (1.0 + tolerance)
+
+
+def _ratio(a: float, b: float) -> float | None:
+    return (b / a) if a > 0 else None
+
+
+@dataclass
+class TraceDiff:
+    """Structured outcome of one A-vs-B trace comparison."""
+
+    verdict: str = "ok"
+    matched: int = 0
+    added: list = field(default_factory=list)
+    removed: list = field(default_factory=list)
+    excused: list = field(default_factory=list)
+    attr_deltas: list = field(default_factory=list)
+    time_deltas: list = field(default_factory=list)
+    mem_deltas: list = field(default_factory=list)
+    metric_deltas: list = field(default_factory=list)
+    metric_drift: list = field(default_factory=list)
+    notes: list = field(default_factory=list)
+    tolerance: float = 0.25
+    min_dur_s: float = 0.005
+
+    @property
+    def severity(self) -> int:
+        return VERDICTS.index(self.verdict)
+
+    def to_dict(self) -> dict:
+        return {
+            "verdict": self.verdict,
+            "matched": self.matched,
+            "added": self.added,
+            "removed": self.removed,
+            "excused": self.excused,
+            "attr_deltas": self.attr_deltas,
+            "time_deltas": self.time_deltas,
+            "mem_deltas": self.mem_deltas,
+            "metric_deltas": self.metric_deltas,
+            "metric_drift": self.metric_drift,
+            "notes": self.notes,
+            "tolerance": self.tolerance,
+            "min_dur_s": self.min_dur_s,
+        }
+
+    def render(self) -> str:
+        tol = "inf" if math.isinf(self.tolerance) else f"{self.tolerance:.0%}"
+        lines = [
+            f"verdict: {self.verdict}",
+            f"spans: {self.matched} matched, {len(self.added)} added, "
+            f"{len(self.removed)} removed, {len(self.excused)} excused "
+            f"(wall tolerance +{tol}, floor {self.min_dur_s * 1e3:.1f}ms)",
+        ]
+        for note in self.notes:
+            lines.append(f"note: {note}")
+        if self.added:
+            lines.append("added spans (undeclared):")
+            lines.extend(f"  + {span_id}" for span_id in self.added)
+        if self.removed:
+            lines.append("removed spans (undeclared):")
+            lines.extend(f"  - {span_id}" for span_id in self.removed)
+        if self.excused:
+            lines.append("carve-outs applied:")
+            counts: dict[str, int] = {}
+            for entry in self.excused:
+                counts[entry["carveout"]] = counts.get(entry["carveout"], 0) + 1
+            for name, count in sorted(counts.items()):
+                lines.append(f"  {name} x{count}")
+        if self.attr_deltas:
+            lines.append("attribute deltas (exact-compare class):")
+            for d in self.attr_deltas:
+                lines.append(
+                    f"  {d['id']} {d['attr']}: {d['a']!r} -> {d['b']!r}"
+                )
+        if self.time_deltas:
+            lines.append(f"wall-time regressions (> +{tol}):")
+            for d in self.time_deltas:
+                ratio = f" ({d['ratio']:.2f}x)" if d.get("ratio") else ""
+                lines.append(
+                    f"  {d['id']} {d['attr']}: {d['a']:.4f}s -> "
+                    f"{d['b']:.4f}s{ratio}"
+                )
+        if self.mem_deltas:
+            lines.append(f"memory growth (> +{tol}):")
+            for d in self.mem_deltas:
+                lines.append(
+                    f"  {d['id']} {d['attr']}: {d['a']:,d} -> {d['b']:,d} bytes"
+                )
+        if self.metric_deltas:
+            lines.append("metric deltas:")
+            for d in self.metric_deltas:
+                lines.append(
+                    f"  {d['kind']} {d['name']}: {d['a']!r} -> {d['b']!r}"
+                )
+        if self.metric_drift:
+            lines.append("metrics present on one side only (undeclared):")
+            for d in self.metric_drift:
+                lines.append(f"  {d['side']}: {d['kind']} {d['name']}")
+        if self.verdict == "ok" and not self.excused:
+            lines.append("traces are equivalent")
+        return "\n".join(lines)
+
+
+def _compare_span_attrs(span_id, attrs_a, attrs_b, carveouts,
+                        diff: TraceDiff) -> None:
+    for key in sorted(set(attrs_a) | set(attrs_b)):
+        in_a, in_b = key in attrs_a, key in attrs_b
+        va, vb = attrs_a.get(key), attrs_b.get(key)
+        if key.startswith("mem_"):
+            if not (in_a and in_b):
+                continue  # profiling-off / schema-1 side: excused by design
+            try:
+                fa, fb = float(va), float(vb)
+            except (TypeError, ValueError):
+                continue
+            if _exceeds(fa, fb, diff.tolerance):
+                diff.mem_deltas.append(
+                    {"id": span_id, "attr": key, "a": int(fa), "b": int(fb)}
+                )
+            continue
+        if key.endswith("_s") and isinstance(va, (int, float)) \
+                and isinstance(vb, (int, float)) and in_a and in_b:
+            if max(va, vb) < diff.min_dur_s:
+                continue
+            if _exceeds(va, vb, diff.tolerance):
+                diff.time_deltas.append(
+                    {"id": span_id, "attr": key, "a": float(va),
+                     "b": float(vb), "ratio": _ratio(va, vb)}
+                )
+            continue
+        if (not (in_a and in_b)) or va != vb:
+            carve = _attr_carveout(key, carveouts)
+            if carve is not None:
+                diff.excused.append(
+                    {"kind": "attr", "id": f"{span_id}.{key}",
+                     "side": "value", "carveout": carve.match}
+                )
+                continue
+            diff.attr_deltas.append(
+                {"id": span_id, "attr": key,
+                 "a": va if in_a else "<absent>",
+                 "b": vb if in_b else "<absent>"}
+            )
+
+
+def _compare_metrics(ma, mb, carveouts, diff: TraceDiff) -> None:
+    ma = ma or _EMPTY_SNAPSHOT
+    mb = mb or _EMPTY_SNAPSHOT
+    for kind in ("counters", "gauges", "timers"):
+        section_a = ma.get(kind) or {}
+        section_b = mb.get(kind) or {}
+        for name in sorted(set(section_a) | set(section_b)):
+            in_a, in_b = name in section_a, name in section_b
+            if not (in_a and in_b):
+                side = "only in A" if in_a else "only in B"
+                carve = _metric_carveout(name, carveouts)
+                if carve is not None:
+                    diff.excused.append(
+                        {"kind": "metric", "id": name, "side": side,
+                         "carveout": carve.match}
+                    )
+                else:
+                    diff.metric_drift.append(
+                        {"kind": kind[:-1], "name": name, "side": side}
+                    )
+                continue
+            va, vb = section_a[name], section_b[name]
+            if kind == "counters":
+                if va != vb:
+                    diff.metric_deltas.append(
+                        {"kind": "counter", "name": name, "a": va, "b": vb}
+                    )
+            elif kind == "gauges":
+                lo, hi = min(va, vb), max(va, vb)
+                if _exceeds(lo, hi, diff.tolerance):
+                    diff.metric_deltas.append(
+                        {"kind": "gauge", "name": name, "a": va, "b": vb}
+                    )
+            else:  # timers: observation count is structural, totals are wall
+                if va.get("count") != vb.get("count"):
+                    diff.metric_deltas.append(
+                        {"kind": "timer", "name": f"{name}.count",
+                         "a": va.get("count"), "b": vb.get("count")}
+                    )
+                ta, tb = va.get("total_s", 0.0), vb.get("total_s", 0.0)
+                if max(ta, tb) >= diff.min_dur_s and _exceeds(ta, tb, diff.tolerance):
+                    diff.time_deltas.append(
+                        {"id": f"metrics/{name}", "attr": "total_s",
+                         "a": float(ta), "b": float(tb), "ratio": _ratio(ta, tb)}
+                    )
+
+
+def diff_traces(
+    a: dict,
+    b: dict,
+    *,
+    tolerance: float = 0.25,
+    min_dur_s: float = 0.005,
+    carveouts=DEFAULT_CARVEOUTS,
+) -> TraceDiff:
+    """Diff two loaded traces (:func:`repro.obs.read_trace` output)."""
+    if tolerance < 0:
+        raise ValueError("tolerance must be >= 0")
+    diff = TraceDiff(tolerance=float(tolerance), min_dur_s=float(min_dur_s))
+
+    run_a = a["meta"].get("run")
+    run_b = b["meta"].get("run")
+    if run_a != run_b:
+        diff.notes.append(f"run labels differ: {run_a!r} vs {run_b!r}")
+    schema_a = a["meta"].get("schema")
+    schema_b = b["meta"].get("schema")
+    if schema_a != schema_b:
+        diff.notes.append(
+            f"schemas differ: {schema_a} vs {schema_b} "
+            "(memory attrs compared only where present on both sides)"
+        )
+
+    spans_a: dict[str, dict] = {}
+    spans_b: dict[str, dict] = {}
+    for source, table, label in ((a, spans_a, "A"), (b, spans_b, "B")):
+        for span in source["spans"]:
+            if span["id"] in table:
+                diff.notes.append(
+                    f"duplicate span id in {label}: {span['id']} (last wins)"
+                )
+            table[span["id"]] = span
+
+    for span in a["spans"]:
+        span_id = span["id"]
+        if span_id in spans_b:
+            continue
+        carve = _span_carveout(span_id, carveouts)
+        if carve is not None:
+            diff.excused.append(
+                {"kind": "span", "id": span_id, "side": "removed",
+                 "carveout": carve.match}
+            )
+        else:
+            diff.removed.append(span_id)
+    for span in b["spans"]:
+        span_id = span["id"]
+        if span_id in spans_a:
+            continue
+        carve = _span_carveout(span_id, carveouts)
+        if carve is not None:
+            diff.excused.append(
+                {"kind": "span", "id": span_id, "side": "added",
+                 "carveout": carve.match}
+            )
+        else:
+            diff.added.append(span_id)
+
+    for span_id, span_a in spans_a.items():
+        span_b = spans_b.get(span_id)
+        if span_b is None:
+            continue
+        diff.matched += 1
+        if span_a["name"] != span_b["name"]:
+            diff.attr_deltas.append(
+                {"id": span_id, "attr": "name",
+                 "a": span_a["name"], "b": span_b["name"]}
+            )
+        dur_a, dur_b = span_a["dur_s"], span_b["dur_s"]
+        if max(dur_a, dur_b) >= min_dur_s and _exceeds(dur_a, dur_b, tolerance):
+            diff.time_deltas.append(
+                {"id": span_id, "attr": "dur_s", "a": float(dur_a),
+                 "b": float(dur_b), "ratio": _ratio(dur_a, dur_b)}
+            )
+        _compare_span_attrs(
+            span_id, span_a.get("attrs") or {}, span_b.get("attrs") or {},
+            carveouts, diff,
+        )
+
+    _compare_metrics(a.get("metrics"), b.get("metrics"), carveouts, diff)
+
+    if diff.added or diff.removed or diff.metric_drift:
+        diff.verdict = "structural-drift"
+    elif (diff.attr_deltas or diff.time_deltas or diff.mem_deltas
+          or diff.metric_deltas):
+        diff.verdict = "regressed"
+    else:
+        diff.verdict = "ok"
+    return diff
+
+
+def diff_trace_files(path_a, path_b, **kwargs) -> TraceDiff:
+    """Load two JSONL traces and diff them (see :func:`diff_traces`)."""
+    return diff_traces(read_trace(path_a), read_trace(path_b), **kwargs)

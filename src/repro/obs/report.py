@@ -48,12 +48,20 @@ def aggregate_trace(spans: list[dict]) -> dict:
           "link_bytes":         sum of every span's link_bytes,
           "pairwise_bytes":     sum of every span's pairwise_bytes,
           "data_moved_bytes":   link_bytes + pairwise_bytes,
+          "memory":             {name: {"net_bytes", "peak_bytes"}} for
+                                phases carrying schema-2 `mem_*` attrs
+                                (net summed, peak maxed; empty without
+                                `--profile-mem`),
         }
+
+    ``mem_*`` attrs are profiling detail, not data movement: they feed
+    the ``memory`` roll-up and stay out of the per-phase byte sums.
 
     Phases are ordered by first appearance in the trace, which follows
     completion order and therefore diffs cleanly between runs.
     """
     phases: dict[str, dict] = {}
+    memory: dict[str, dict] = {}
     totals = {attr: 0 for attr in _DATA_MOVED_ATTRS}
     for span in spans:
         phase = phases.get(span["name"])
@@ -72,6 +80,15 @@ def aggregate_trace(spans: list[dict]) -> dict:
                 value = int(value)
             except (TypeError, ValueError):
                 continue
+            if key.startswith("mem_"):
+                mem = memory.setdefault(
+                    span["name"], {"net_bytes": 0, "peak_bytes": 0}
+                )
+                if key == "mem_net_bytes":
+                    mem["net_bytes"] += value
+                elif key == "mem_peak_bytes":
+                    mem["peak_bytes"] = max(mem["peak_bytes"], value)
+                continue
             phase["bytes"][key] = phase["bytes"].get(key, 0) + value
             if key in totals:
                 totals[key] += value
@@ -89,6 +106,7 @@ def aggregate_trace(spans: list[dict]) -> dict:
         "link_bytes": totals["link_bytes"],
         "pairwise_bytes": totals["pairwise_bytes"],
         "data_moved_bytes": sum(totals.values()),
+        "memory": memory,
     }
 
 
@@ -123,10 +141,81 @@ def render_report(trace: dict) -> str:
             "of epoch time"
         )
 
+    if agg["memory"]:
+        lines.append("")
+        lines.append(f"{'memory (--profile-mem)':22s} {'net alloc':>14s} "
+                     f"{'peak':>14s}")
+        for name, mem in agg["memory"].items():
+            lines.append(
+                f"  {name:20s} {mem['net_bytes']:>14,d} "
+                f"{mem['peak_bytes']:>14,d}"
+            )
+
     metrics = trace.get("metrics")
+    lines.extend(_render_pipeline_lines(metrics))
     if metrics and metrics.get("counters"):
         lines.append("")
         lines.append("counters:")
         for name, value in metrics["counters"].items():
             lines.append(f"  {name:30s} {value:>14,d}")
+    if metrics and metrics.get("gauges"):
+        lines.append("")
+        lines.append("gauges:")
+        for name, value in metrics["gauges"].items():
+            lines.append(f"  {name:30s} {value:>14.4f}")
+    if metrics and metrics.get("timers"):
+        lines.append("")
+        lines.append(f"timers:{'':25s} {'count':>7s} {'total_s':>10s} "
+                     f"{'mean_s':>10s}")
+        for name, timer in metrics["timers"].items():
+            lines.append(
+                f"  {name:30s} {timer.get('count', 0):>6d} "
+                f"{timer.get('total_s', 0.0):>10.4f} "
+                f"{timer.get('mean_s', 0.0):>10.5f}"
+            )
     return "\n".join(lines)
+
+
+def _render_pipeline_lines(metrics: dict | None) -> list[str]:
+    """Derived overlap / prefetch / qscore summary from the snapshot.
+
+    These were recorded since PRs 5-6 but never rendered; the raw
+    counter/gauge/timer dumps below stay exhaustive — this block is the
+    at-a-glance reading of the pipeline's behaviour.
+    """
+    if not metrics:
+        return []
+    counters = metrics.get("counters") or {}
+    gauges = metrics.get("gauges") or {}
+    timers = metrics.get("timers") or {}
+    lines: list[str] = []
+
+    if "overlap.efficiency" in gauges or "overlap.rounds_launched" in counters:
+        launched = counters.get("overlap.rounds_launched", 0)
+        efficiency = gauges.get("overlap.efficiency")
+        wait = timers.get("overlap.join_wait", {})
+        parts = [f"{launched} round(s) overlapped"]
+        if efficiency is not None:
+            parts.append(f"last round {100 * efficiency:.1f}% hidden")
+        if wait.get("count"):
+            parts.append(f"join wait total {wait.get('total_s', 0.0):.4f}s")
+        lines.append(f"overlap:  {', '.join(parts)}")
+    if "prefetch.batches" in counters:
+        queue_wait = timers.get("prefetch.queue_wait", {})
+        lines.append(
+            f"prefetch: {counters['prefetch.batches']:,d} batch(es) served, "
+            f"queue wait total {queue_wait.get('total_s', 0.0):.4f}s"
+        )
+    if "qscore.block_hits" in counters or "qscore.block_misses" in counters:
+        hits = counters.get("qscore.block_hits", 0)
+        misses = counters.get("qscore.block_misses", 0)
+        blocks = hits + misses
+        rate = (100 * hits / blocks) if blocks else 0.0
+        lines.append(
+            f"qscore:   {hits:,d} block hit(s) / {misses:,d} miss(es) "
+            f"({rate:.1f}% hit rate), "
+            f"{counters.get('qscore.select_hits', 0):,d} select hit(s)"
+        )
+    if lines:
+        lines.insert(0, "")
+    return lines

@@ -3,13 +3,25 @@ and a plain-text summary.
 
 The JSONL format is one object per line:
 
-- ``{"kind": "meta", "schema": 1, "run": ..., "t_unix": ..., ...}`` —
-  exactly one, always first;
+- ``{"kind": "meta", "schema": 2, "run": ..., "t_unix": ...,
+  "profile_mem": ..., ...}`` — exactly one, always first;
 - ``{"kind": "span", "id", "name", "parent", "start_s", "dur_s",
   "attrs", "worker"}`` — one per finished span, in completion order
   (children precede parents);
 - ``{"kind": "metrics", "counters", "gauges", "timers"}`` — at most
   one, last, the metrics-registry snapshot.
+
+Schema history — readers accept every schema back to 1 and reject only
+*newer* ones, so ``obsdiff`` can compare traces across schema bumps:
+
+- **1** — meta + spans + metrics as above.
+- **2** — meta gains ``profile_mem``; under ``--profile-mem``, spans
+  carry ``mem_net_bytes`` / ``mem_peak_bytes`` (tracemalloc attribution
+  to the innermost open span) and the explicit ``mem_pool_lease_bytes``
+  / ``mem_pool_release_bytes`` / ``mem_shm_bytes`` credits.  The
+  migration shim for schema 1 is exactly "memory attrs are absent":
+  ``profile_mem`` defaults to False and no span carries ``mem_*`` keys,
+  which the diff engine already treats as "not profiled on this side".
 
 The Chrome export emits complete events (``"ph": "X"``) in the
 ``trace_event`` JSON-object format that ``chrome://tracing`` and
@@ -35,7 +47,8 @@ __all__ = [
     "render_summary",
 ]
 
-SCHEMA_VERSION = 1
+SCHEMA_VERSION = 2
+MIN_SCHEMA_VERSION = 1
 
 
 def _jsonable(value):
@@ -59,6 +72,7 @@ def write_jsonl(path, tracer: Tracer, registry=None) -> None:
         "schema": SCHEMA_VERSION,
         "run": tracer.run,
         "t_unix": time.time(),
+        "profile_mem": tracer.profiler is not None,
     }
     meta.update(tracer.meta)
     with open(path, "w", encoding="utf-8") as f:
@@ -74,8 +88,12 @@ def write_jsonl(path, tracer: Tracer, registry=None) -> None:
 def read_trace(path) -> dict:
     """Load a JSONL trace as ``{"meta": ..., "spans": [...], "metrics": ...}``.
 
-    ``spans`` are plain dicts in file order.  Raises ``ValueError`` on a
-    schema this reader does not understand.
+    ``spans`` are plain dicts in file order.  Older schemas (back to
+    ``MIN_SCHEMA_VERSION``) are read through a migration shim — a
+    schema-1 trace simply has ``profile_mem=False`` and no ``mem_*``
+    span attrs, so ``obsdiff`` can compare pre/post-profiling traces.
+    Raises ``ValueError`` only on schemas *newer* than this reader (or
+    otherwise malformed lines).
     """
     meta: dict = {}
     spans: list[dict] = []
@@ -88,10 +106,21 @@ def read_trace(path) -> dict:
             doc = json.loads(line)
             kind = doc.get("kind")
             if kind == "meta":
-                if doc.get("schema") != SCHEMA_VERSION:
+                schema = doc.get("schema")
+                if type(schema) is not int or schema < MIN_SCHEMA_VERSION:
                     raise ValueError(
-                        f"unsupported trace schema {doc.get('schema')!r}"
+                        f"unsupported trace schema {schema!r}"
                     )
+                if schema > SCHEMA_VERSION:
+                    raise ValueError(
+                        f"trace schema {schema} is newer than this reader "
+                        f"(supports {MIN_SCHEMA_VERSION}..{SCHEMA_VERSION}); "
+                        "upgrade repro to read it"
+                    )
+                if schema < SCHEMA_VERSION:
+                    # Schema-1 shim: memory profiling did not exist; the
+                    # absence of mem_* attrs *is* the migrated form.
+                    doc.setdefault("profile_mem", False)
                 meta = doc
             elif kind == "span":
                 spans.append(doc)

@@ -140,13 +140,25 @@ class Tracer:
     meta : extra JSON-able metadata for the trace header.
     """
 
-    def __init__(self, run: str = "run", meta: dict | None = None):
+    def __init__(
+        self,
+        run: str = "run",
+        meta: dict | None = None,
+        profile_mem: bool = False,
+    ):
         self.run = run
         self.meta = dict(meta or {})
         self.records: list[SpanRecord] = []
         self.t0 = time.perf_counter()
         self._stack: list[Span] = []
         self._seq: dict[tuple[str | None, str], int] = {}
+        self.profiler = None
+        if profile_mem:
+            # Imported on demand: a profiler-less tracer never touches
+            # tracemalloc, keeping the no-op overhead contract intact.
+            from repro.obs.profile import SpanMemoryProfiler
+
+            self.profiler = SpanMemoryProfiler()
 
     # -- id derivation -------------------------------------------------------
 
@@ -184,11 +196,18 @@ class Tracer:
         return Span(self, record)
 
     def _enter(self, sp: Span) -> None:
+        if self.profiler is not None:
+            # Close the parent's attribution interval before the child
+            # starts accumulating (innermost-open-span attribution).
+            self.profiler.boundary(self._stack[-1] if self._stack else None)
         self._stack.append(sp)
         sp.record.start_s = time.perf_counter() - self.t0
 
     def _exit(self, sp: Span) -> None:
         sp.record.dur_s = time.perf_counter() - self.t0 - sp.record.start_s
+        if self.profiler is not None:
+            self.profiler.boundary(sp)
+            self.profiler.finalize(sp)
         # Tolerate exception-driven unwinding: pop through to this span.
         while self._stack:
             top = self._stack.pop()

@@ -223,6 +223,7 @@ class SelectionExecutor:
                         labels.nbytes if labels is not None else 0
                     )
                     pub.set(shm_bytes=shm_bytes, rows=int(vectors.shape[0]))
+                    obs.credit_bytes("mem_shm_bytes", shm_bytes)
                 obs.metrics().counter("shm.bytes_published").inc(shm_bytes)
                 obs.metrics().counter("shm.segments_published").inc()
                 try:
@@ -332,6 +333,7 @@ class SelectionExecutor:
                 with obs.span("shm_publish", rows=int(vectors.shape[0])) as pub:
                     store = SharedFeatureStore(vectors)
                     pub.set(shm_bytes=int(vectors.nbytes))
+                    obs.credit_bytes("mem_shm_bytes", int(vectors.nbytes))
                 try:
                     tasks = [
                         (store.handle, np.asarray(pos), fn, fn_args)

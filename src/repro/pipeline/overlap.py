@@ -127,6 +127,7 @@ class AsyncSelectionRound:
         efficiency = hidden / dur if dur > 0 else 1.0
         reg = obs.metrics()
         reg.timer("overlap.join_wait").observe(max(0.0, wait))
+        reg.timer("overlap.round_duration").observe(max(0.0, dur))
         reg.gauge("overlap.efficiency").set(efficiency)
         result = self._result
         obs.add_completed(

@@ -836,3 +836,94 @@ class TestQscoreUpcast:
         )
         assert findings == []
         assert len(suppressed) == 1
+
+
+class TestMetricNames:
+    PATH = "repro/anywhere/mod.py"
+
+    def test_dynamic_name_flagged(self, run_rule):
+        findings, _ = run_rule(
+            """
+            from repro import obs
+
+            def record(mode):
+                obs.metrics().counter("qscore." + mode).inc()
+                obs.metrics().gauge(f"overlap.{mode}").set(1.0)
+            """,
+            self.PATH,
+            "NES011",
+        )
+        assert len(findings) == 2
+        assert all("not a string literal" in f.message for f in findings)
+
+    def test_undotted_literal_flagged(self, run_rule):
+        findings, _ = run_rule(
+            """
+            from repro import obs
+
+            def record():
+                obs.metrics().counter("rounds").inc()
+            """,
+            self.PATH,
+            "NES011",
+        )
+        assert len(findings) == 1
+        assert "not dotted-namespace" in findings[0].message
+
+    def test_undeclared_literal_flagged(self, run_rule):
+        findings, _ = run_rule(
+            """
+            from repro import obs
+
+            def record():
+                obs.metrics().timer("rogue.series").observe(0.1)
+            """,
+            self.PATH,
+            "NES011",
+        )
+        assert len(findings) == 1
+        assert "METRIC_TABLE" in findings[0].message
+
+    def test_declared_literals_clean(self, run_rule):
+        findings, _ = run_rule(
+            """
+            from repro import obs
+
+            def record():
+                reg = obs.metrics()
+                reg.counter("selection.rounds").inc()
+                reg.gauge("overlap.efficiency").set(0.5)
+                reg.timer("overlap.join_wait").observe(0.1)
+            """,
+            self.PATH,
+            "NES011",
+        )
+        assert findings == []
+
+    def test_unrelated_attribute_calls_ignored(self, run_rule):
+        findings, _ = run_rule(
+            """
+            import itertools
+
+            def f(xs):
+                return itertools.count(), max(xs)  # .count is not .counter
+            """,
+            self.PATH,
+            "NES011",
+        )
+        assert findings == []
+
+    def test_pragma_suppresses_with_reason(self, run_rule):
+        findings, suppressed = run_rule(
+            """
+            from repro import obs
+
+            def sweep(names):
+                for name in names:
+                    obs.metrics().counter(name).inc()  # lint: allow-dynamic-metric(fixture sweeps synthetic series)
+            """,
+            self.PATH,
+            "NES011",
+        )
+        assert findings == []
+        assert len(suppressed) == 1

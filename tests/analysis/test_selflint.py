@@ -91,6 +91,17 @@ VIOLATIONS = {
             """
         ),
     ),
+    "NES011": (
+        "repro/anywhere/bad.py",
+        textwrap.dedent(
+            """
+            from repro import obs
+
+            def record(mode):
+                obs.metrics().counter("qscore." + mode).inc()
+            """
+        ),
+    ),
 }
 
 
@@ -122,7 +133,7 @@ class TestSelfLint:
         out = capsys.readouterr().out
         for rule in (
             "NES001", "NES002", "NES003", "NES004", "NES005", "NES006",
-            "NES009", "NES010",
+            "NES009", "NES010", "NES011",
         ):
             assert rule in out
 

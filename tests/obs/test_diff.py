@@ -1,0 +1,397 @@
+"""Cross-run trace diff: alignment, carve-outs, verdicts, CLI gates."""
+
+import json
+import math
+
+import pytest
+
+from repro import obs
+from repro.cli import main
+from repro.core.config import NeSSAConfig, TrainRecipe
+from repro.core.trainer import NeSSATrainer
+from repro.data.synthetic import SyntheticConfig, make_train_test
+from repro.nn.resnet import resnet20
+from repro.obs.diff import DEFAULT_CARVEOUTS, VERDICTS, CarveOut, diff_traces
+
+STRUCTURAL = VERDICTS.index("structural-drift")
+
+
+def _span(span_id, name=None, dur_s=0.01, attrs=None, parent=None):
+    return {
+        "kind": "span",
+        "id": span_id,
+        "name": name or span_id.rsplit("/", 1)[-1].split("#")[0].split("@")[0],
+        "parent": parent,
+        "start_s": 0.0,
+        "dur_s": dur_s,
+        "attrs": attrs or {},
+        "worker": None,
+    }
+
+
+def _trace(spans, metrics=None, run="test", schema=2):
+    return {
+        "meta": {"kind": "meta", "schema": schema, "run": run},
+        "spans": spans,
+        "metrics": metrics,
+    }
+
+
+class TestAlignment:
+    def test_identical_traces_are_ok(self):
+        spans = [
+            _span("epoch#0", dur_s=1.0, attrs={"train_loss": 2.5}),
+            _span("epoch#0/feedback_quantize#0", dur_s=0.1,
+                  attrs={"link_bytes": 640}, parent="epoch#0"),
+        ]
+        diff = diff_traces(_trace(spans), _trace(spans))
+        assert diff.verdict == "ok"
+        assert diff.matched == 2
+        assert not (diff.added or diff.removed or diff.attr_deltas
+                    or diff.time_deltas or diff.mem_deltas)
+        assert "traces are equivalent" in diff.render()
+
+    def test_undeclared_extra_span_is_structural_drift(self):
+        a = _trace([_span("epoch#0")])
+        b = _trace([_span("epoch#0"), _span("epoch#0/mystery#0")])
+        diff = diff_traces(a, b)
+        assert diff.verdict == "structural-drift"
+        assert diff.added == ["epoch#0/mystery#0"]
+        diff = diff_traces(b, a)
+        assert diff.removed == ["epoch#0/mystery#0"]
+        assert diff.verdict == "structural-drift"
+
+    def test_carved_span_is_excused_not_drift(self):
+        a = _trace([_span("epoch#0")])
+        b = _trace([_span("epoch#0"), _span("epoch#0/shm_publish#0")])
+        diff = diff_traces(a, b)
+        assert diff.verdict == "ok"
+        assert diff.added == []
+        assert [e["carveout"] for e in diff.excused] == ["shm_publish"]
+
+    def test_carveout_covers_whole_subtree_via_ancestor_frame(self):
+        # A child of a carved frame is excused even though its own name
+        # is not carved: the subtree moves with its root.
+        a = _trace([_span("epoch#1")])
+        b = _trace([
+            _span("epoch#1"),
+            _span("epoch#1/selection_round#0/unit@1-0-2", name="unit"),
+        ])
+        diff = diff_traces(a, b)
+        assert diff.verdict == "ok"
+        assert diff.excused and diff.excused[0]["carveout"] == "selection_round"
+
+    def test_carveout_never_excuses_value_mismatch_on_matched_span(self):
+        # selection_round is a declared carve-out, but only for *presence*:
+        # a round both sides ran still byte-compares exactly.
+        a = _trace([_span("selection_round#0", attrs={"pairwise_bytes": 100})])
+        b = _trace([_span("selection_round#0", attrs={"pairwise_bytes": 200})])
+        diff = diff_traces(a, b)
+        assert diff.verdict == "regressed"
+        assert diff.attr_deltas[0]["attr"] == "pairwise_bytes"
+
+    def test_run_label_and_schema_mismatch_are_noted(self):
+        a = _trace([_span("epoch#0")], run="serial", schema=1)
+        b = _trace([_span("epoch#0")], run="overlap", schema=2)
+        diff = diff_traces(a, b)
+        assert diff.verdict == "ok"
+        assert any("run labels differ" in n for n in diff.notes)
+        assert any("schemas differ" in n for n in diff.notes)
+
+
+class TestValueComparison:
+    def test_slowdown_beyond_tolerance_regresses(self):
+        a = _trace([_span("epoch#0", dur_s=0.10)])
+        b = _trace([_span("epoch#0", dur_s=0.30)])
+        diff = diff_traces(a, b, tolerance=0.25)
+        assert diff.verdict == "regressed"
+        assert diff.time_deltas[0]["ratio"] == pytest.approx(3.0)
+
+    def test_speedup_never_flags(self):
+        a = _trace([_span("epoch#0", dur_s=0.30)])
+        b = _trace([_span("epoch#0", dur_s=0.10)])
+        assert diff_traces(a, b, tolerance=0.25).verdict == "ok"
+
+    def test_sub_floor_jitter_ignored(self):
+        # 4x apart, but both under the min_dur_s floor: meaningless jitter.
+        a = _trace([_span("step#0", dur_s=0.001)])
+        b = _trace([_span("step#0", dur_s=0.004)])
+        assert diff_traces(a, b, tolerance=0.25).verdict == "ok"
+
+    def test_infinite_tolerance_ignores_time_but_not_bytes(self):
+        a = _trace([_span("epoch#0", dur_s=0.1, attrs={"link_bytes": 10})])
+        b = _trace([_span("epoch#0", dur_s=9.9, attrs={"link_bytes": 20})])
+        diff = diff_traces(a, b, tolerance=math.inf)
+        assert diff.verdict == "regressed"
+        assert not diff.time_deltas
+        assert diff.attr_deltas[0]["attr"] == "link_bytes"
+
+    def test_byte_attrs_compare_exactly(self):
+        a = _trace([_span("unit@0", attrs={"sim_bytes": 1000})])
+        b = _trace([_span("unit@0", attrs={"sim_bytes": 1001})])
+        assert diff_traces(a, b).verdict == "regressed"
+
+    def test_mem_attrs_growth_only_with_tolerance(self):
+        a = _trace([_span("epoch#0", attrs={"mem_net_bytes": 1000})])
+        grown = _trace([_span("epoch#0", attrs={"mem_net_bytes": 5000})])
+        shrunk = _trace([_span("epoch#0", attrs={"mem_net_bytes": 100})])
+        assert diff_traces(a, grown).verdict == "regressed"
+        assert diff_traces(a, grown).mem_deltas
+        assert diff_traces(a, shrunk).verdict == "ok"
+
+    def test_mem_attr_absence_excused_both_directions(self):
+        # A schema-1 / profiling-off trace diffs clean against a
+        # --profile-mem one: absence is "not profiled", not a delta.
+        profiled = _trace([_span("epoch#0", attrs={"mem_net_bytes": 4096,
+                                                   "mem_peak_bytes": 9000})])
+        plain = _trace([_span("epoch#0")], schema=1)
+        assert diff_traces(profiled, plain).verdict == "ok"
+        assert diff_traces(plain, profiled).verdict == "ok"
+
+    def test_negative_tolerance_rejected(self):
+        with pytest.raises(ValueError):
+            diff_traces(_trace([]), _trace([]), tolerance=-0.1)
+
+
+class TestMetricsReconciliation:
+    def test_counter_delta_regresses(self):
+        a = _trace([], metrics={"counters": {"selection.rounds": 3}})
+        b = _trace([], metrics={"counters": {"selection.rounds": 4}})
+        diff = diff_traces(a, b)
+        assert diff.verdict == "regressed"
+        assert diff.metric_deltas[0]["kind"] == "counter"
+
+    def test_one_sided_undeclared_metric_is_drift(self):
+        a = _trace([], metrics={"counters": {}})
+        b = _trace([], metrics={"counters": {"weird.thing": 1}})
+        diff = diff_traces(a, b)
+        assert diff.verdict == "structural-drift"
+        assert diff.metric_drift[0]["name"] == "weird.thing"
+
+    def test_one_sided_carved_metric_is_excused(self):
+        a = _trace([], metrics={"counters": {}})
+        b = _trace([], metrics={"counters": {"prefetch.batches": 12}})
+        diff = diff_traces(a, b)
+        assert diff.verdict == "ok"
+        assert diff.excused[0]["carveout"] == "prefetch."
+
+    def test_timer_count_is_structural_total_is_wall(self):
+        a = _trace([], metrics={"timers": {
+            "overlap.join_wait": {"count": 2, "total_s": 0.10}}})
+        slower = _trace([], metrics={"timers": {
+            "overlap.join_wait": {"count": 2, "total_s": 0.50}}})
+        recount = _trace([], metrics={"timers": {
+            "overlap.join_wait": {"count": 3, "total_s": 0.10}}})
+        assert diff_traces(a, slower, tolerance=0.25).verdict == "regressed"
+        assert diff_traces(a, slower, tolerance=math.inf).verdict == "ok"
+        # an extra observation is a structural fact, never excused by inf
+        assert diff_traces(a, recount, tolerance=math.inf).verdict == "regressed"
+
+    def test_gauge_compares_with_symmetric_tolerance(self):
+        a = _trace([], metrics={"gauges": {"overlap.efficiency": 0.80}})
+        near = _trace([], metrics={"gauges": {"overlap.efficiency": 0.85}})
+        far = _trace([], metrics={"gauges": {"overlap.efficiency": 0.10}})
+        assert diff_traces(a, near, tolerance=0.25).verdict == "ok"
+        assert diff_traces(a, far, tolerance=0.25).verdict == "regressed"
+        assert diff_traces(far, a, tolerance=0.25).verdict == "regressed"
+
+    def test_missing_snapshot_on_both_sides_is_ok(self):
+        assert diff_traces(_trace([]), _trace([])).verdict == "ok"
+
+
+class TestCarveOutDeclarations:
+    def test_defaults_are_frozen_declarations_with_reasons(self):
+        for carve in DEFAULT_CARVEOUTS:
+            assert isinstance(carve, CarveOut)
+            assert carve.scope in ("span", "metric", "attr")
+            assert carve.reason
+        names = {c.match for c in DEFAULT_CARVEOUTS if c.scope == "span"}
+        assert {"shm_publish", "async_selection", "selection_round"} <= names
+
+    def test_custom_carveout_list_replaces_defaults(self):
+        a = _trace([_span("epoch#0")])
+        b = _trace([_span("epoch#0"), _span("epoch#0/shm_publish#0")])
+        diff = diff_traces(a, b, carveouts=())
+        assert diff.verdict == "structural-drift"
+
+
+class TestRealRunEquivalence:
+    """The headline contract: same config => traces diff clean."""
+
+    @pytest.fixture(scope="class")
+    def runs(self):
+        train, test = make_train_test(
+            SyntheticConfig(
+                num_classes=4, num_samples=240, image_shape=(3, 8, 8), seed=21
+            )
+        )
+        base = TrainRecipe().scaled(3)
+        recipe = TrainRecipe(
+            epochs=3,
+            batch_size=48,
+            lr=0.05,
+            clip_grad_norm=5.0,
+            lr_milestones=base.lr_milestones,
+            lr_gamma_div=base.lr_gamma_div,
+        )
+
+        def one(**overrides):
+            config = NeSSAConfig(
+                subset_fraction=0.3, biasing_drop_period=3, seed=0, **overrides
+            )
+
+            def factory():
+                return resnet20(num_classes=4, width=4, seed=13)
+
+            tracer = obs.Tracer(run="diff-test")
+            registry = obs.MetricsRegistry()
+            obs.set_tracer(tracer)
+            obs.set_metrics(registry)
+            try:
+                NeSSATrainer(factory(), recipe, config, factory).train(train, test)
+            finally:
+                obs.set_tracer(None)
+                obs.set_metrics(None)
+            return _trace(
+                [r.to_dict() for r in tracer.records],
+                metrics=registry.snapshot(),
+                run="diff-test",
+            )
+
+        return {
+            "serial_a": one(),
+            "serial_b": one(),
+            "overlap": one(overlap=True, stale_feedback="stale"),
+        }
+
+    def test_identical_serial_runs_diff_exactly_clean(self, runs):
+        diff = diff_traces(runs["serial_a"], runs["serial_b"],
+                           tolerance=math.inf)
+        assert diff.verdict == "ok"
+        assert diff.matched > 10
+        assert not (diff.added or diff.removed or diff.excused
+                    or diff.attr_deltas or diff.mem_deltas
+                    or diff.metric_deltas or diff.metric_drift)
+
+    def test_overlap_vs_serial_is_never_structural_drift(self, runs):
+        # Losses differ (stale feedback), but every shape difference is
+        # covered by a declared carve-out: the CI gate is exactly this.
+        diff = diff_traces(runs["serial_a"], runs["overlap"],
+                           tolerance=math.inf)
+        assert diff.severity < STRUCTURAL
+        assert not (diff.added or diff.removed or diff.metric_drift)
+        applied = {e["carveout"] for e in diff.excused}
+        declared = {c.match for c in DEFAULT_CARVEOUTS}
+        assert applied <= declared
+        assert "selection_round" in applied
+
+    def test_worker_counts_diff_clean_modulo_shm_carveouts(self, runs):
+        from repro.core.selector import NeSSASelector
+        from repro.parallel.store import shared_memory_available
+
+        if not shared_memory_available():
+            pytest.skip("POSIX shared memory unavailable")
+        train, _ = make_train_test(
+            SyntheticConfig(
+                num_classes=4, num_samples=320, image_shape=(3, 8, 8), seed=7
+            )
+        )
+        model = resnet20(num_classes=4, width=4, seed=3)
+        traces = {}
+        for workers in (1, 2, 4):
+            tracer = obs.Tracer(run="select")
+            registry = obs.MetricsRegistry()
+            obs.set_tracer(tracer)
+            obs.set_metrics(registry)
+            try:
+                config = NeSSAConfig(
+                    subset_fraction=0.25, use_biasing=False, seed=5,
+                    workers=workers,
+                )
+                with NeSSASelector(config, chunk_select=16) as selector:
+                    selector.select(train, 0.25, model)
+            finally:
+                obs.set_tracer(None)
+                obs.set_metrics(None)
+            traces[workers] = _trace(
+                [r.to_dict() for r in tracer.records],
+                metrics=registry.snapshot(), run="select",
+            )
+        for workers in (2, 4):
+            diff = diff_traces(traces[1], traces[workers],
+                               tolerance=math.inf)
+            assert diff.verdict == "ok", diff.render()
+            applied = {e["carveout"] for e in diff.excused}
+            assert applied <= {"shm_publish", "shm.", "workers", "parallel"}
+
+
+class TestObsdiffCLI:
+    def _write(self, path, trace):
+        with open(path, "w", encoding="utf-8") as f:
+            f.write(json.dumps(trace["meta"]) + "\n")
+            for span in trace["spans"]:
+                f.write(json.dumps(span) + "\n")
+            if trace["metrics"] is not None:
+                f.write(json.dumps(
+                    dict(trace["metrics"], kind="metrics")) + "\n")
+
+    @pytest.fixture
+    def paths(self, tmp_path):
+        base = _trace([_span("epoch#0", dur_s=0.1,
+                             attrs={"link_bytes": 10})],
+                      metrics={"counters": {"selection.rounds": 1}})
+        a = tmp_path / "a.jsonl"
+        self._write(a, base)
+        return tmp_path, a, base
+
+    def test_clean_diff_exits_zero(self, paths, capsys):
+        tmp_path, a, base = paths
+        b = tmp_path / "b.jsonl"
+        self._write(b, base)
+        assert main(["obsdiff", str(a), str(b)]) == 0
+        assert "verdict: ok" in capsys.readouterr().out
+
+    def test_regression_fails_default_gate_but_not_drift_gate(self, paths):
+        tmp_path, a, base = paths
+        worse = _trace([_span("epoch#0", dur_s=0.1,
+                              attrs={"link_bytes": 999})],
+                       metrics=base["metrics"])
+        b = tmp_path / "b.jsonl"
+        self._write(b, worse)
+        assert main(["obsdiff", str(a), str(b)]) == 1
+        assert main(["obsdiff", str(a), str(b),
+                     "--fail-on", "structural-drift"]) == 0
+        assert main(["obsdiff", str(a), str(b), "--fail-on", "none"]) == 0
+
+    def test_drift_fails_the_drift_gate(self, paths):
+        tmp_path, a, base = paths
+        drifted = _trace(base["spans"] + [_span("epoch#0/mystery#0")],
+                         metrics=base["metrics"])
+        b = tmp_path / "b.jsonl"
+        self._write(b, drifted)
+        assert main(["obsdiff", str(a), str(b),
+                     "--fail-on", "structural-drift"]) == 1
+
+    def test_slowdown_gated_by_tolerance_flag(self, paths):
+        tmp_path, a, base = paths
+        slow = _trace([_span("epoch#0", dur_s=0.4,
+                             attrs={"link_bytes": 10})],
+                      metrics=base["metrics"])
+        b = tmp_path / "b.jsonl"
+        self._write(b, slow)
+        assert main(["obsdiff", str(a), str(b)]) == 1
+        assert main(["obsdiff", str(a), str(b), "--tolerance", "inf"]) == 0
+
+    def test_json_format_round_trips(self, paths, capsys):
+        tmp_path, a, base = paths
+        b = tmp_path / "b.jsonl"
+        self._write(b, base)
+        assert main(["obsdiff", str(a), str(b), "--format", "json"]) == 0
+        doc = json.loads(capsys.readouterr().out)
+        assert doc["verdict"] == "ok"
+        assert doc["matched"] == 1
+
+    def test_unreadable_trace_exits_two(self, paths, capsys):
+        _, a, _ = paths
+        assert main(["obsdiff", str(a), "/no/such/trace.jsonl"]) == 2
+        assert "obsdiff:" in capsys.readouterr().out

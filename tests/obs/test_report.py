@@ -66,6 +66,70 @@ class TestAggregateTrace:
         assert agg["epoch_time_s"] == 0.0
 
 
+class TestDerivedPipelineLines:
+    def _render(self, metrics):
+        return render_report({"meta": {"run": "t"}, "spans": [],
+                              "metrics": metrics})
+
+    def test_overlap_prefetch_qscore_surfaced(self):
+        out = self._render({
+            "counters": {"overlap.rounds_launched": 3,
+                         "prefetch.batches": 40,
+                         "qscore.block_hits": 6, "qscore.block_misses": 2,
+                         "qscore.select_hits": 1},
+            "gauges": {"overlap.efficiency": 0.82},
+            "timers": {"overlap.join_wait": {"count": 3, "total_s": 0.5,
+                                             "mean_s": 0.1667},
+                       "prefetch.queue_wait": {"count": 40, "total_s": 0.02,
+                                               "mean_s": 0.0005}},
+        })
+        assert "overlap:  3 round(s) overlapped" in out
+        assert "last round 82.0% hidden" in out
+        assert "join wait total 0.5000s" in out
+        assert "prefetch: 40 batch(es) served" in out
+        assert "qscore:   6 block hit(s) / 2 miss(es) (75.0% hit rate)" in out
+        assert "1 select hit(s)" in out
+        # the raw sections still dump everything
+        assert "gauges:" in out and "timers:" in out
+
+    def test_no_pipeline_metrics_no_derived_lines(self):
+        out = self._render({"counters": {"selection.rounds": 2}})
+        assert "overlap:" not in out
+        assert "prefetch:" not in out
+        assert "qscore:" not in out
+
+    def test_memory_section_only_with_mem_attrs(self):
+        spans = [_span("epoch", dur_s=1.0,
+                       attrs={"mem_net_bytes": 1000, "mem_peak_bytes": 5000,
+                              "link_bytes": 64})]
+        out = render_report({"meta": {"run": "t"}, "spans": spans,
+                             "metrics": None})
+        assert "memory (--profile-mem)" in out
+        assert "5,000" in out
+        out = render_report({
+            "meta": {"run": "t"},
+            "spans": [_span("epoch", dur_s=1.0, attrs={"link_bytes": 64})],
+            "metrics": None,
+        })
+        assert "memory" not in out
+
+    def test_mem_attrs_stay_out_of_byte_columns(self):
+        spans = [_span("epoch", attrs={"link_bytes": 10,
+                                       "mem_net_bytes": 10_000_000})]
+        agg = aggregate_trace(spans)
+        assert agg["phases"]["epoch"]["bytes"] == {"link_bytes": 10}
+        assert agg["data_moved_bytes"] == 10
+        assert agg["memory"]["epoch"]["net_bytes"] == 10_000_000
+
+    def test_memory_peak_maxes_and_net_sums(self):
+        spans = [
+            _span("epoch", attrs={"mem_net_bytes": 100, "mem_peak_bytes": 900}),
+            _span("epoch", attrs={"mem_net_bytes": 50, "mem_peak_bytes": 300}),
+        ]
+        agg = aggregate_trace(spans)
+        assert agg["memory"]["epoch"] == {"net_bytes": 150, "peak_bytes": 900}
+
+
 class TestRealRunReconciliation:
     @pytest.fixture(scope="class")
     def traced_run(self):

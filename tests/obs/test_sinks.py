@@ -52,11 +52,43 @@ class TestJsonlRoundTrip:
         assert isinstance(epoch["attrs"]["train_loss"], float)
         assert trace["metrics"] is None
 
-    def test_unsupported_schema_rejected(self, tmp_path):
+    def test_newer_schema_rejected_with_upgrade_hint(self, tmp_path):
         path = tmp_path / "bad.jsonl"
         path.write_text('{"kind": "meta", "schema": 999, "run": "x"}\n')
-        with pytest.raises(ValueError, match="schema"):
+        with pytest.raises(ValueError, match="newer than this reader"):
             obs.read_trace(path)
+
+    def test_non_integer_schema_rejected(self, tmp_path):
+        path = tmp_path / "bad.jsonl"
+        for schema in ('"2"', "true", "null", "0"):
+            path.write_text(
+                '{"kind": "meta", "schema": %s, "run": "x"}\n' % schema
+            )
+            with pytest.raises(ValueError, match="schema"):
+                obs.read_trace(path)
+
+    def test_schema_1_read_through_migration_shim(self, tmp_path):
+        # A pre-profiling trace: no profile_mem key, no mem_* attrs.
+        path = tmp_path / "old.jsonl"
+        path.write_text(
+            '{"kind": "meta", "schema": 1, "run": "legacy"}\n'
+            '{"kind": "span", "id": "epoch#0", "name": "epoch", '
+            '"parent": null, "start_s": 0.0, "dur_s": 1.0, '
+            '"attrs": {}, "worker": null}\n'
+        )
+        trace = obs.read_trace(path)
+        assert trace["meta"]["schema"] == 1
+        assert trace["meta"]["profile_mem"] is False
+        assert len(trace["spans"]) == 1
+
+    def test_current_schema_records_profile_mem_flag(self, tmp_path):
+        for profile_mem in (False, True):
+            t = obs.Tracer(run="t", profile_mem=profile_mem)
+            if t.profiler is not None:
+                t.profiler.stop()
+            path = tmp_path / f"t{profile_mem}.jsonl"
+            obs.write_jsonl(path, t)
+            assert obs.read_trace(path)["meta"]["profile_mem"] is profile_mem
 
     def test_unknown_kind_rejected(self, tmp_path):
         path = tmp_path / "bad.jsonl"

@@ -67,7 +67,7 @@ class TestCLI:
         sub = next(a for a in parser._actions if a.dest == "command")
         assert set(sub.choices) == {
             "info", "train", "system", "kernel", "scaling", "bench", "lint",
-            "report",
+            "report", "obsdiff",
         }
 
     def test_info_runs(self, capsys):
