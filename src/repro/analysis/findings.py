@@ -39,6 +39,9 @@ class Finding:
     hint: str = ""
     severity: str = "error"
     fingerprint: str = field(default="", compare=False)
+    # witness chain for flow rules: [{"path", "line", "message"}, ...]
+    # rendered into SARIF relatedLocations (producer first, sink last)
+    related: list = field(default_factory=list, compare=False)
 
     def sort_key(self) -> tuple:
         return (self.path, self.line, self.col, self.rule)
@@ -53,6 +56,7 @@ class Finding:
             "message": self.message,
             "hint": self.hint,
             "fingerprint": self.fingerprint,
+            "related": self.related,
         }
 
     def render(self) -> str:

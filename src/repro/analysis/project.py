@@ -212,6 +212,7 @@ class FileIndex:
     classes: dict = field(default_factory=dict)  # class qualname -> {meth: fn}
     attr_types: dict = field(default_factory=dict)  # cls -> {attr: "q:.."|"?"}
     functions: dict = field(default_factory=dict)  # qualname -> FunctionSummary
+    absint: dict | None = None  # lowered shape/dtype mini-IR (absint module)
 
     def to_dict(self) -> dict:
         return {
@@ -219,6 +220,7 @@ class FileIndex:
             "imports": self.imports, "classes": self.classes,
             "attr_types": self.attr_types,
             "functions": {q: s.to_dict() for q, s in self.functions.items()},
+            "absint": self.absint,
         }
 
     @classmethod
@@ -231,6 +233,7 @@ class FileIndex:
                 q: FunctionSummary.from_dict(s)
                 for q, s in d["functions"].items()
             },
+            absint=d.get("absint"),
         )
 
 
@@ -761,6 +764,13 @@ def build_file_index(source: str, path: str) -> FileIndex | None:
                 else stmt.name
             )
     indexer.visit(tree)
+    # lower every function to the shape/dtype mini-IR (absint rides the
+    # same per-file cache entry and fork-pool fan-out as the summaries)
+    from repro.analysis.absint import lower_module
+
+    indexer.index.absint = lower_module(
+        tree, indexer.index.module, path, indexer.index.imports
+    )
     return indexer.index
 
 

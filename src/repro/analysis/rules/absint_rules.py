@@ -1,0 +1,99 @@
+"""NES012/NES013/NES014 — shape and dtype facts proved by abstract
+interpretation (:mod:`repro.analysis.absint`).
+
+All three rules consume one shared whole-program analysis pass, memoized
+on the :class:`~repro.analysis.project.ProjectIndex`, so the interpreter
+runs once per scan no matter how many of the rules are selected:
+
+- **NES012** — statically-provable shape errors (incompatible matmul
+  inner dims, unbroadcastable elementwise operands, concat non-axis
+  mismatches, inconsistent einsum index bindings) inside the modules
+  whose shapes are load-bearing: ``selection/``, ``nn/``, ``parallel/``.
+  The interpreter is optimistic — an unknown dim unifies with anything —
+  so every finding is a proof, not a heuristic.
+- **NES013** — contract conformance: a function whose inferred return
+  shape cannot unify with its declared ``@shape_contract`` right-hand
+  side.  This upgrades NES005 from "the decorator is present and the
+  pipeline composes" to "the body implements what it declares".
+- **NES014** — dtype drift: a value inferred float64 (explicit
+  ``astype``/``np.float64``/``dtype=`` markers, propagated through
+  calls, containers and attribute loads) reaching a qscore / pairwise /
+  ``craig_select_class`` / smartssd-kernel sink while the declared
+  ``NeSSAConfig.similarity_precision`` is narrower.  This subsumes
+  NES010's name-based taint with real value flow, and each finding
+  carries the producer → call path witness chain in ``related`` (SARIF
+  ``relatedLocations``).
+"""
+
+from __future__ import annotations
+
+from repro.analysis.absint import analysis_for
+from repro.analysis.registry import ProjectChecker, register
+from repro.analysis.rules._util import in_module
+
+__all__ = ["ShapeError", "ContractConformance", "DtypeDrift"]
+
+_SHAPE_SCOPE = ("repro/selection/", "repro/nn/", "repro/parallel/")
+
+
+def _events(index, rule: str):
+    for event in analysis_for(index).events:
+        if event["rule"] == rule:
+            yield event
+
+
+class _AbsintRule(ProjectChecker):
+    """Shared event → finding plumbing for the absint-backed rules."""
+
+    def _emit_events(self, index, events):
+        for event in events:
+            finding = self.project_finding(
+                path=event["path"], line=event["line"], col=event["col"],
+                message=event["message"], hint=event["hint"],
+            )
+            if event.get("related"):
+                finding.related = list(event["related"])
+            yield finding
+
+
+@register
+class ShapeError(_AbsintRule):
+    rule = "NES012"
+    pragma = "shape"
+    description = (
+        "statically-provable shape error (matmul/broadcast/concat/"
+        "einsum) in selection/, nn/ or parallel/"
+    )
+
+    def check_project(self, index):
+        events = (
+            e for e in _events(index, self.rule)
+            if in_module(e["path"], _SHAPE_SCOPE)
+        )
+        yield from self._emit_events(index, events)
+
+
+@register
+class ContractConformance(_AbsintRule):
+    rule = "NES013"
+    pragma = "shape-conformance"
+    description = (
+        "inferred return shape cannot unify with the declared "
+        "@shape_contract right-hand side"
+    )
+
+    def check_project(self, index):
+        yield from self._emit_events(index, _events(index, self.rule))
+
+
+@register
+class DtypeDrift(_AbsintRule):
+    rule = "NES014"
+    pragma = "dtype-drift"
+    description = (
+        "float64 value (beyond the declared similarity precision) "
+        "reaches a qscore/pairwise/craig/kernel sink"
+    )
+
+    def check_project(self, index):
+        yield from self._emit_events(index, _events(index, self.rule))

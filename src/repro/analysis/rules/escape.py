@@ -66,7 +66,7 @@ class Float64Escape(ProjectChecker):
                 if not tainted:
                     continue
                 witness = index.taint_witness(tainted[0])
-                yield self.project_finding(
+                finding = self.project_finding(
                     path=summary.path,
                     line=site.line,
                     col=site.col,
@@ -80,6 +80,14 @@ class Float64Escape(ProjectChecker):
                         "reference path"
                     ),
                 )
+                producer = index.functions.get(witness)
+                if producer is not None:
+                    finding.related = [{
+                        "path": producer.path,
+                        "line": producer.line,
+                        "message": f"float64 produced by {witness}",
+                    }]
+                yield finding
 
 
 def _in_qscore_module(qualname: str) -> bool:

@@ -322,6 +322,17 @@ def _cmd_lint(args) -> int:
             print(f"{checker.rule}  allow-{checker.pragma:18s} {checker.description}")
         return 0
 
+    if args.explain:
+        from repro.analysis.explain import explain_rule
+
+        text = explain_rule(args.explain)
+        if text is None:
+            print(f"lint: unknown rule {args.explain!r} "
+                  "(try --list-rules)")
+            return 2
+        print(text, end="")
+        return 0
+
     if args.check_baseline:
         if not os.path.exists(args.baseline):
             print(f"lint: no baseline at {args.baseline}; nothing to check")
@@ -625,6 +636,9 @@ def build_parser() -> argparse.ArgumentParser:
                       help="comma-separated rule ids to skip")
     lint.add_argument("--list-rules", action="store_true",
                       help="print the rule table and exit")
+    lint.add_argument("--explain", default=None, metavar="RULE",
+                      help="print one rule's description, pragma and a "
+                           "minimal violating/clean example pair, then exit")
 
     return parser
 

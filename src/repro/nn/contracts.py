@@ -58,6 +58,16 @@ def _parse_side(side: str, spec: str) -> tuple[str, ...]:
         raise ContractError(f"'*' must stand alone in contract {spec!r}")
     if dims.count("...") > 1:
         raise ContractError(f"at most one '...' per side in contract {spec!r}")
+    named = [token for token in dims if token not in ("*", "...")]
+    seen: set[str] = set()
+    for token in named:
+        if token in seen:
+            raise ContractError(
+                f"duplicate dimension {token!r} on one side of contract "
+                f"{spec!r}: name each axis once (use primes, e.g. "
+                f"{token}', for a distinct extent)"
+            )
+        seen.add(token)
     return dims
 
 

@@ -1,0 +1,401 @@
+"""Unit coverage for the shape/dtype abstract interpreter.
+
+These tests drive :mod:`repro.analysis.absint` directly — build file
+indexes, assemble a ProjectIndex, run the analysis — and assert on the
+inferred function summaries and the raw event stream, independent of the
+NES012/013/014 rule plumbing (covered by ``test_absint_rules``).
+"""
+
+import textwrap
+
+from repro.analysis.absint import TOP, analysis_for
+from repro.analysis.project import FileIndex, ProjectIndex, build_file_index
+
+
+def analyze(files: dict):
+    fis = []
+    for path, source in sorted(files.items()):
+        fi = build_file_index(textwrap.dedent(source), path)
+        assert fi is not None, f"fixture {path} does not parse"
+        fis.append(fi)
+    return analysis_for(ProjectIndex(fis))
+
+
+def summary(an, qualname):
+    return an._summaries[qualname]
+
+
+class TestShapes:
+    def test_reshape_and_matmul_shapes(self):
+        an = analyze({"m.py": """
+            def f(a):
+                x = a.reshape(4, 8)
+                y = a.reshape(8, 3)
+                return x @ y
+        """})
+        assert summary(an, "m.f").shape == (4, 3)
+        assert an.events == []
+
+    def test_matmul_inner_mismatch_event(self):
+        an = analyze({"m.py": """
+            def f(a):
+                return a.reshape(4, 8) @ a.reshape(4, 4)
+        """})
+        (event,) = an.events
+        assert event["rule"] == "NES012"
+        assert "inner dims differ" in event["message"]
+
+    def test_unknown_dims_never_flag(self):
+        an = analyze({"m.py": """
+            def f(a, b):
+                return a @ b
+        """})
+        assert an.events == []
+        assert summary(an, "m.f").shape is None
+
+    def test_broadcast_literal_conflict(self):
+        an = analyze({"m.py": """
+            def f(a):
+                return a.reshape(4, 8) + a.reshape(4, 7)
+        """})
+        (event,) = an.events
+        assert "cannot broadcast" in event["message"]
+
+    def test_broadcast_with_one_and_unknown_clean(self):
+        an = analyze({"m.py": """
+            def f(a, b):
+                x = a.reshape(4, 8)
+                return x + x.mean(axis=0, keepdims=True) + b
+        """})
+        assert an.events == []
+
+    def test_concat_non_axis_mismatch(self):
+        an = analyze({"m.py": """
+            import numpy as np
+
+            def f(a):
+                return np.concatenate([a.reshape(2, 5), a.reshape(3, 4)])
+        """})
+        (event,) = an.events
+        assert "concatenate" in event["message"]
+
+    def test_concat_axis_dims_sum(self):
+        an = analyze({"m.py": """
+            import numpy as np
+
+            def f(a):
+                return np.concatenate([a.reshape(2, 5), a.reshape(3, 5)])
+        """})
+        assert summary(an, "m.f").shape == (5, 5)
+        assert an.events == []
+
+    def test_stack_adds_leading_axis(self):
+        an = analyze({"m.py": """
+            import numpy as np
+
+            def f(a):
+                x = a.reshape(4, 4)
+                return np.stack([x, x, x])
+        """})
+        assert summary(an, "m.f").shape == (3, 4, 4)
+
+    def test_einsum_binding_conflict(self):
+        an = analyze({"m.py": """
+            import numpy as np
+
+            def f(a):
+                return np.einsum("ij,jk->ik", a.reshape(2, 5),
+                                 a.reshape(4, 3))
+        """})
+        assert any("einsum" in e["message"] for e in an.events)
+
+    def test_einsum_output_shape(self):
+        an = analyze({"m.py": """
+            import numpy as np
+
+            def f(a):
+                return np.einsum("ij,jk->ik", a.reshape(2, 5),
+                                 a.reshape(5, 3))
+        """})
+        assert summary(an, "m.f").shape == (2, 3)
+        assert an.events == []
+
+    def test_indexing_drops_and_inserts_axes(self):
+        an = analyze({"m.py": """
+            def f(a):
+                x = a.reshape(4, 8, 3)
+                return x[0, :, None]
+        """})
+        assert summary(an, "m.f").shape == (8, 1, 3)
+
+    def test_transpose_and_T(self):
+        an = analyze({"m.py": """
+            def f(a):
+                return a.reshape(4, 8).T
+        """})
+        assert summary(an, "m.f").shape == (8, 4)
+
+    def test_reduction_axis_and_keepdims(self):
+        an = analyze({"m.py": """
+            def f(a):
+                x = a.reshape(4, 8, 3)
+                return x.sum(axis=1)
+
+            def g(a):
+                x = a.reshape(4, 8, 3)
+                return x.sum(axis=1, keepdims=True)
+        """})
+        assert summary(an, "m.f").shape == (4, 3)
+        assert summary(an, "m.g").shape == (4, 1, 3)
+
+    def test_shape_tuple_arithmetic(self):
+        an = analyze({"m.py": """
+            def f(a):
+                x = a.reshape(6, 4)
+                n = x.shape[0]
+                return x.reshape(n // 2, 8)
+        """})
+        assert summary(an, "m.f").shape == (3, 8)
+
+
+class TestDtypes:
+    def test_astype_tracks_and_weak_scalars_do_not_widen(self):
+        an = analyze({"m.py": """
+            import numpy as np
+
+            def f(a):
+                x = a.astype(np.float32)
+                return x * 2.0 + 1
+        """})
+        assert summary(an, "m.f").dtype == "float32"
+
+    def test_float64_provenance_chain(self):
+        an = analyze({"m.py": """
+            import numpy as np
+
+            def make(a):
+                return a.astype(np.float64)
+
+            def use(a):
+                return make(a) * 2.0
+        """})
+        ret = summary(an, "m.use")
+        assert ret.dtype == "float64"
+        notes = [note for (_, _, note) in ret.prov]
+        assert "cast to float64" in notes
+        assert any("via call to m.make" in n for n in notes)
+
+    def test_float64_wins_promotion(self):
+        an = analyze({"m.py": """
+            import numpy as np
+
+            def f(a, b):
+                return a.astype(np.float32) + b.astype(np.float64)
+        """})
+        assert summary(an, "m.f").dtype == "float64"
+
+
+class TestInterprocedural:
+    def test_contract_seeds_parameters(self):
+        an = analyze({"repro/nn/m.py": """
+            from repro.nn.contracts import shape_contract
+
+            class Block:
+                @shape_contract("N,C,H,W -> N,C")
+                def forward(self, x):
+                    return x.mean(axis=(2, 3))
+        """})
+        ret = summary(an, "repro.nn.m.Block.forward")
+        assert ret.shape == ("$N", "$C")
+        assert an.events == []
+
+    def test_contract_applied_at_call_site(self):
+        an = analyze({"repro/nn/m.py": """
+            from repro.nn.contracts import shape_contract
+
+            class Pool:
+                @shape_contract("N,C,H,W -> N,C")
+                def forward(self, x):
+                    return x.mean(axis=(2, 3))
+
+            def drive(a, pool: Pool):
+                x = a.reshape(8, 3, 4, 4)
+                return pool.forward(x)
+        """})
+        assert summary(an, "repro.nn.m.drive").shape == (8, 3)
+
+    def test_instance_call_dispatches_to_forward(self):
+        an = analyze({"repro/nn/m.py": """
+            from repro.nn.contracts import shape_contract
+
+            class Pool:
+                @shape_contract("N,C,H,W -> N,C")
+                def forward(self, x):
+                    return x.mean(axis=(2, 3))
+
+            def drive(a):
+                pool = Pool()
+                return pool(a.reshape(8, 3, 4, 4))
+        """})
+        assert summary(an, "repro.nn.m.drive").shape == (8, 3)
+
+    def test_loop_reaches_stable_join(self):
+        an = analyze({"m.py": """
+            def f(a, stages):
+                out = a.reshape(4, 8)
+                for stage in stages:
+                    out = out + 1
+                return out
+        """})
+        assert summary(an, "m.f").shape == (4, 8)
+
+    def test_branch_join_conflicting_shapes_goes_top(self):
+        an = analyze({"m.py": """
+            def f(a, flag):
+                if flag:
+                    x = a.reshape(4, 8)
+                else:
+                    x = a.reshape(4, 9)
+                return x
+        """})
+        assert summary(an, "m.f").shape == (4, TOP)
+
+
+class TestConformance:
+    def test_wrong_arity_flagged(self):
+        an = analyze({"repro/nn/m.py": """
+            from repro.nn.contracts import shape_contract
+
+            class Pool:
+                @shape_contract("N,C,H,W -> N,C")
+                def forward(self, x):
+                    return x.mean(axis=3)
+        """})
+        assert any(e["rule"] == "NES013" for e in an.events)
+
+    def test_symbol_conflict_flagged(self):
+        an = analyze({"repro/nn/m.py": """
+            from repro.nn.contracts import shape_contract
+
+            class Swap:
+                @shape_contract("N,C -> N,C")
+                def forward(self, x):
+                    return x.T
+        """})
+        assert any(e["rule"] == "NES013" for e in an.events)
+
+    def test_primes_rebind_freely(self):
+        an = analyze({"repro/nn/m.py": """
+            from repro.nn.contracts import shape_contract
+
+            class Down:
+                @shape_contract("N,C,H,W -> N,C,H',W'")
+                def forward(self, x):
+                    return x[:, :, 0:1, 0:1].sum(axis=3, keepdims=True)
+        """})
+        assert not any(e["rule"] == "NES013" for e in an.events)
+
+    def test_passthrough_and_top_never_flag(self):
+        an = analyze({"repro/nn/m.py": """
+            from repro.nn.contracts import shape_contract
+
+            class Act:
+                @shape_contract("* -> *")
+                def forward(self, x):
+                    return unknowable(x)
+
+            class Ext:
+                @shape_contract("N,C -> N,K")
+                def forward(self, x):
+                    return unknowable(x)
+        """})
+        assert not any(e["rule"] == "NES013" for e in an.events)
+
+
+class TestDrift:
+    def test_sink_detects_f64_with_witness(self):
+        an = analyze({"repro/driver.py": """
+            import numpy as np
+
+            def craig_select_class(v):
+                return v
+
+            def go(a):
+                return craig_select_class(a.astype(np.float64))
+        """})
+        (event,) = [e for e in an.events if e["rule"] == "NES014"]
+        assert event["related"]
+        assert "cast to float64" in event["related"][0]["message"]
+
+    def test_qscore_caller_exempt(self):
+        an = analyze({"repro/selection/qscore.py": """
+            import numpy as np
+
+            def quantize(v):
+                return v
+
+            def internal(a):
+                return quantize(a.astype(np.float64))
+        """})
+        assert not any(e["rule"] == "NES014" for e in an.events)
+
+    def test_declared_float64_precision_is_vacuous(self):
+        an = analyze({
+            "repro/core/config.py": """
+                class NeSSAConfig:
+                    similarity_precision: str = "float64"
+            """,
+            "repro/driver.py": """
+                import numpy as np
+
+                def craig_select_class(v):
+                    return v
+
+                def go(a):
+                    return craig_select_class(a.astype(np.float64))
+            """,
+        })
+        assert not any(e["rule"] == "NES014" for e in an.events)
+
+    def test_container_attribute_carries_taint(self):
+        an = analyze({"repro/driver.py": """
+            import numpy as np
+
+            class Proxy:
+                def __init__(self, vectors):
+                    self.vectors = vectors
+
+            def craig_select_class(v):
+                return v
+
+            def go(a):
+                proxy = Proxy(a.astype(np.float64))
+                return craig_select_class(proxy.vectors)
+        """})
+        assert any(e["rule"] == "NES014" for e in an.events)
+
+
+class TestSerialization:
+    def test_ir_survives_json_round_trip(self):
+        source = textwrap.dedent("""
+            import numpy as np
+
+            def f(a):
+                return a.reshape(4, 8) @ a.reshape(4, 4)
+        """)
+        fi = build_file_index(source, "m.py")
+        assert fi.absint is not None
+        import json
+
+        restored = FileIndex.from_dict(
+            json.loads(json.dumps(fi.to_dict()))
+        )
+        direct = analysis_for(ProjectIndex([fi]))
+        via_cache = analysis_for(ProjectIndex([restored]))
+        assert direct.events == via_cache.events
+        assert len(direct.events) == 1
+
+    def test_analysis_memoized_on_index(self):
+        fi = build_file_index("def f(a):\n    return a\n", "m.py")
+        index = ProjectIndex([fi])
+        assert analysis_for(index) is analysis_for(index)

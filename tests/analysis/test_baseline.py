@@ -163,3 +163,70 @@ class TestJustificationGate:
 
         missing = tmp_path / "nowhere.json"
         assert main(["lint", "--check-baseline", "--baseline", str(missing)]) == 0
+
+
+class TestMultiplicityEdges:
+    """Same-fingerprint findings beyond the grandfathered count surface."""
+
+    def test_excess_over_grandfathered_count_surfaces(self, tmp_path):
+        (tmp_path / "bad.py").write_text(BAD_EXCEPT)
+        baseline = tmp_path / "baseline.json"
+        write_baseline(str(baseline), _lint(tmp_path))
+
+        # one entry grandfathered, three identical violations now: the
+        # two excess occurrences must come back as new findings
+        (tmp_path / "bad.py").write_text(BAD_EXCEPT * 3)
+        new, matched = partition_findings(
+            _lint(tmp_path), load_baseline(str(baseline))
+        )
+        assert len(new) == 2
+        assert matched == 1
+
+    def test_fewer_than_grandfathered_still_clean(self, tmp_path):
+        (tmp_path / "bad.py").write_text(BAD_EXCEPT * 3)
+        baseline = tmp_path / "baseline.json"
+        write_baseline(str(baseline), _lint(tmp_path))
+
+        (tmp_path / "bad.py").write_text(BAD_EXCEPT)
+        new, matched = partition_findings(
+            _lint(tmp_path), load_baseline(str(baseline))
+        )
+        assert new == []
+        assert matched == 1
+
+
+class TestWriteBaselineIdempotence:
+    def test_two_writes_produce_identical_files(self, tmp_path):
+        from repro.cli import main
+
+        (tmp_path / "bad.py").write_text(BAD_EXCEPT + BAD_EXCEPT)
+        baseline = tmp_path / "baseline.json"
+        args = [
+            "lint", str(tmp_path),
+            "--write-baseline", "--baseline", str(baseline),
+            "--no-cache",
+        ]
+        assert main(args) == 0
+        first = baseline.read_text()
+        assert main(args) == 0
+        assert baseline.read_text() == first
+        # both occurrences are snapshotted, not collapsed by fingerprint
+        assert len(json.loads(first)["findings"]) == 2
+
+    def test_rewrite_after_fix_drops_the_entry(self, tmp_path):
+        from repro.cli import main
+
+        bad = tmp_path / "bad.py"
+        bad.write_text(BAD_EXCEPT)
+        baseline = tmp_path / "baseline.json"
+        args = [
+            "lint", str(tmp_path),
+            "--write-baseline", "--baseline", str(baseline),
+            "--no-cache",
+        ]
+        assert main(args) == 0
+        assert len(json.loads(baseline.read_text())["findings"]) == 1
+
+        bad.write_text("try:\n    work()\nexcept ValueError:\n    pass\n")
+        assert main(args) == 0
+        assert json.loads(baseline.read_text())["findings"] == []

@@ -162,3 +162,20 @@ class TestSuppression:
         findings, suppressed = run(tmp_path, {"mod.py": source})
         assert findings == []
         assert len(suppressed) == 1
+
+
+class TestWitnessLocations:
+    def test_producer_location_attached_for_sarif(self, tmp_path):
+        findings, _ = run(tmp_path, {"mod.py": HOT_CALL})
+        (finding,) = findings
+        (related,) = finding.related
+        assert related["path"].endswith("mod.py")
+        assert related["line"] == 4  # def make_proxies
+        assert "make_proxies" in related["message"]
+
+        from repro.analysis import build_sarif
+
+        result = build_sarif(findings)["runs"][0]["results"][0]
+        assert result["relatedLocations"][0]["physicalLocation"]["region"][
+            "startLine"
+        ] == 4

@@ -117,3 +117,33 @@ class TestDecorator:
             "ResNet.forward",
         ):
             assert qualname in CONTRACTS
+
+
+class TestDuplicateDims:
+    @pytest.mark.parametrize(
+        "spec",
+        [
+            "N,N -> N",
+            "N,C -> N,N",
+            "N,C,C,W -> N",
+            "...,N,N -> N",
+        ],
+    )
+    def test_duplicate_named_dim_on_one_side_rejected(self, spec):
+        with pytest.raises(ContractError, match="duplicate dimension"):
+            parse_spec(spec)
+
+    def test_error_suggests_primes(self):
+        with pytest.raises(ContractError, match="primes"):
+            parse_spec("N,N -> N")
+
+    def test_same_name_across_sides_still_fine(self):
+        assert parse_spec("N,C -> N,C") == (("N", "C"), ("N", "C"))
+
+    def test_primed_twin_is_distinct(self):
+        dims_in, dims_out = parse_spec("N,C,H,W -> N,C,H',W'")
+        assert dims_out == ("N", "C", "H'", "W'")
+
+    def test_decorator_rejects_duplicates_at_import_time(self):
+        with pytest.raises(ContractError, match="duplicate dimension"):
+            shape_contract("K,K -> K")(lambda self, x: x)
